@@ -1,0 +1,80 @@
+package ngfix
+
+// One testing.B benchmark per paper exhibit: running
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every table and figure at a scale controlled by the
+// NGFIX_BENCH_SCALE environment variable (default 0.15, sized for a single-core box; the paper-shaped
+// runs in EXPERIMENTS.md use 1.0 via cmd/ngfix-bench). Each benchmark
+// reports the exhibit's wall-clock as ns/op and prints the tables once.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"ngfix/internal/bench"
+	"ngfix/internal/dataset"
+)
+
+func benchScale() dataset.Scale {
+	if v := os.Getenv("NGFIX_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return dataset.Scale(f)
+		}
+	}
+	return dataset.Scale(0.15)
+}
+
+var printOnce sync.Map
+
+func runExhibit(b *testing.B, id string) {
+	e, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(s)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+		if _, printed := printOnce.LoadOrStore(id, true); !printed && testing.Verbose() {
+			b.StopTimer()
+			fmt.Println()
+			if err := bench.WriteAll(os.Stdout, tables); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { runExhibit(b, "table1") }
+func BenchmarkFig2(b *testing.B)   { runExhibit(b, "fig2") }
+func BenchmarkFig4(b *testing.B)   { runExhibit(b, "fig4") }
+func BenchmarkFig8(b *testing.B)   { runExhibit(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { runExhibit(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { runExhibit(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { runExhibit(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { runExhibit(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runExhibit(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { runExhibit(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { runExhibit(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { runExhibit(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { runExhibit(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { runExhibit(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { runExhibit(b, "fig19") }
+func BenchmarkFig20(b *testing.B)  { runExhibit(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { runExhibit(b, "fig21") }
+
+// Beyond-the-paper exhibits: the OOD-DiskANN baseline from related work
+// and the §7 adaptive-ef future-work strategy.
+func BenchmarkExtraEHCorrelation(b *testing.B) { runExhibit(b, "extra-eh") }
+func BenchmarkExtraVamana(b *testing.B)        { runExhibit(b, "extra-vamana") }
+func BenchmarkExtraPQ(b *testing.B)            { runExhibit(b, "extra-pq") }
+func BenchmarkExtraAdaptiveEF(b *testing.B)    { runExhibit(b, "extra-adaptive") }

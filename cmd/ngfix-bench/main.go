@@ -1,0 +1,83 @@
+// Command ngfix-bench regenerates the paper's tables and figures on the
+// synthetic workloads.
+//
+// Usage:
+//
+//	ngfix-bench [-scale S] [-out FILE] all
+//	ngfix-bench [-scale S] [-out FILE] fig8 fig12 table1 ...
+//	ngfix-bench -list
+//
+// Scale multiplies the default dataset sizes (1.0 ≈ 8k base points); the
+// shapes the paper reports hold across scales, larger runs just sharpen
+// the QPS separation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ngfix/internal/bench"
+	"ngfix/internal/dataset"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default sizes)")
+	out := flag.String("out", "", "write results to this file instead of stdout")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ngfix-bench [-scale S] [-out FILE] all | <experiment>...")
+		fmt.Fprintln(os.Stderr, "run 'ngfix-bench -list' to see experiments")
+		os.Exit(2)
+	}
+
+	var exps []bench.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		exps = bench.Experiments()
+	} else {
+		for _, id := range ids {
+			e, err := bench.Lookup(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	s := dataset.Scale(*scale)
+	fmt.Fprintf(w, "ngfix-bench: scale=%.2f, started %s\n\n", *scale, time.Now().Format(time.RFC3339))
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Description)
+		tables := e.Run(s)
+		if err := bench.WriteAll(w, tables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "  done in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,104 @@
+// Command ngfix-inspect is a hardness-diagnosis tool: for one query of a
+// synthetic workload it prints the Escape Hardness picture of the
+// surrounding graph — G_k(q) connectivity, the EH matrix summary, which
+// NN pairs are defective — then applies NGFix/RFix to just that query and
+// shows the before/after search behavior. It is the paper's Figure 3/5/6
+// walkthrough as a CLI.
+//
+// Usage:
+//
+//	ngfix-inspect -recipe LAION -scale 0.2 -query 3 -k 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/core"
+	"ngfix/internal/dataset"
+	"ngfix/internal/graph"
+	"ngfix/internal/hnsw"
+	"ngfix/internal/metrics"
+)
+
+func main() {
+	recipe := flag.String("recipe", "LAION", "dataset recipe")
+	scale := flag.Float64("scale", 0.2, "dataset scale")
+	queryIdx := flag.Int("query", 0, "index of the OOD test query to inspect")
+	k := flag.Int("k", 20, "neighborhood size")
+	delta := flag.Int("delta", 0, "delta threshold (0 = 2k)")
+	flag.Parse()
+
+	var cfg dataset.Config
+	found := false
+	for _, c := range dataset.All(dataset.Scale(*scale)) {
+		if strings.EqualFold(c.Name, *recipe) {
+			cfg, found = c, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown recipe %q\n", *recipe)
+		os.Exit(2)
+	}
+
+	d := dataset.Generate(cfg)
+	if *queryIdx < 0 || *queryIdx >= d.TestOOD.Rows() {
+		fmt.Fprintf(os.Stderr, "query index out of range [0,%d)\n", d.TestOOD.Rows())
+		os.Exit(2)
+	}
+	q := d.TestOOD.Row(*queryIdx)
+	kmax := 2 * (*k)
+	dl := uint16(*delta)
+	if dl == 0 {
+		dl = uint16(kmax)
+	}
+
+	fmt.Printf("dataset %s: %d base vectors, metric %s\n", cfg.Name, d.Base.Rows(), cfg.Metric)
+	h := hnsw.Build(d.Base, hnsw.DefaultConfig(cfg.Metric))
+	g := h.Bottom()
+
+	gt := bruteforce.KNN(d.Base, cfg.Metric, q, kmax, nil)
+	nn := bruteforce.IDs(gt)
+
+	inspect := func(stage string) float64 {
+		sg := graph.InducedSubgraph(g, nn[:*k])
+		eh := core.ComputeEH(g, nn, *k)
+		s := graph.NewSearcher(g)
+		res, st := s.SearchFrom(q, *k, *k, g.EntryPoint)
+		recall := metrics.Recall(graph.IDs(res), nn[:*k])
+		fmt.Printf("\n--- %s ---\n", stage)
+		fmt.Printf("G_%d(q): %d edges, avg reachable %.1f/%d, strongly connected: %v\n",
+			*k, sg.EdgeCount(), sg.AvgReachable(), *k, sg.StronglyConnected())
+		fmt.Printf("EH matrix: max finite %d, pairs with EH > %d: %d of %d\n",
+			eh.MaxFinite(), dl, eh.CountAbove(dl), (*k)*(*k-1))
+		// Worst pairs.
+		worst := 0
+		for i := 0; i < *k && worst < 6; i++ {
+			for j := 0; j < *k && worst < 6; j++ {
+				if i != j && eh.At(i, j) > dl {
+					v := "inf"
+					if eh.At(i, j) != core.InfEH {
+						v = fmt.Sprintf("%d", eh.At(i, j))
+					}
+					fmt.Printf("  hard pair: NN#%d -> NN#%d  EH=%s\n", i+1, j+1, v)
+					worst++
+				}
+			}
+		}
+		fmt.Printf("greedy search (ef=%d): recall@%d = %.3f, NDC = %d\n", *k, *k, recall, st.NDC)
+		return recall
+	}
+
+	before := inspect("before fixing")
+
+	ix := core.New(g, core.Options{Rounds: []core.Round{{K: *k, KMax: kmax, Delta: dl, RFix: true}}, LEx: 48})
+	rep := ix.FixQuery(q, nn)
+	fmt.Printf("\nNGFix/RFix applied to this query: +%d NGFix edges, +%d RFix edges (RFix triggered: %v)\n",
+		rep.NGFixEdges, rep.RFixEdges, rep.RFixTriggered)
+
+	after := inspect("after fixing")
+	fmt.Printf("\nrecall@%d: %.3f -> %.3f\n", *k, before, after)
+}

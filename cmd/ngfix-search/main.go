@@ -1,0 +1,84 @@
+// Command ngfix-search loads an index built by ngfix-build and runs a
+// query file against it, reporting results and (when ground truth is
+// computable from a base file) recall.
+//
+// Usage:
+//
+//	ngfix-search -index index.ngig -queries q.ngfx -k 10 -ef 100
+//	ngfix-search -index index.ngig -queries q.ngfx -k 10 -ef 100 -recall
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/dataset"
+	"ngfix/internal/graph"
+	"ngfix/internal/metrics"
+)
+
+func main() {
+	indexPath := flag.String("index", "", "index file (required)")
+	queryPath := flag.String("queries", "", "query vectors file (required)")
+	k := flag.Int("k", 10, "results per query")
+	ef := flag.Int("ef", 100, "search list size")
+	recall := flag.Bool("recall", false, "compute recall against brute-force ground truth")
+	verbose := flag.Bool("v", false, "print per-query results")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ngfix-search:", err)
+		os.Exit(1)
+	}
+	if *indexPath == "" || *queryPath == "" {
+		fail(fmt.Errorf("-index and -queries are required"))
+	}
+	g, err := graph.Load(*indexPath)
+	if err != nil {
+		fail(err)
+	}
+	queries, err := dataset.LoadMatrix(*queryPath)
+	if err != nil {
+		fail(err)
+	}
+	if queries.Dim() != g.Dim() {
+		fail(fmt.Errorf("query dim %d != index dim %d", queries.Dim(), g.Dim()))
+	}
+	fmt.Printf("index: %d vectors, dim %d, metric %s, avg degree %.1f\n",
+		g.Len(), g.Dim(), g.Metric, g.AvgDegree())
+
+	var gt [][]bruteforce.Neighbor
+	if *recall {
+		gt = bruteforce.AllKNN(g.Vectors, queries, g.Metric, *k)
+	}
+
+	s := graph.NewSearcher(g)
+	var totalNDC int64
+	var sumRecall float64
+	start := time.Now()
+	for qi := 0; qi < queries.Rows(); qi++ {
+		res, st := s.Search(queries.Row(qi), *k, *ef)
+		totalNDC += st.NDC
+		if *verbose {
+			fmt.Printf("q%d:", qi)
+			for _, r := range res {
+				fmt.Printf(" %d(%.4f)", r.ID, r.Dist)
+			}
+			fmt.Println()
+		}
+		if gt != nil {
+			sumRecall += metrics.Recall(graph.IDs(res), bruteforce.IDs(gt[qi]))
+		}
+	}
+	elapsed := time.Since(start)
+	nq := float64(queries.Rows())
+	fmt.Printf("%d queries in %s: %.0f QPS, %.0f NDC/query, %.1fus/query\n",
+		queries.Rows(), elapsed.Round(time.Microsecond),
+		nq/elapsed.Seconds(), float64(totalNDC)/nq, elapsed.Seconds()*1e6/nq)
+	if gt != nil {
+		fmt.Printf("recall@%d = %.4f\n", *k, sumRecall/nq)
+	}
+}

@@ -1,0 +1,99 @@
+// Command ngfix-server serves an NGFix index over HTTP with continuous
+// online fixing: the index repairs itself with the query stream it
+// observes, the paper's production deployment story.
+//
+// Usage:
+//
+//	ngfix-server -base base.ngfx -metric cosine -addr :8080 -autofix
+//	ngfix-server -index prebuilt.ngig -addr :8080
+//
+// Endpoints: POST /v1/{search,insert,delete,fix,purge}, GET /v1/stats,
+// GET /healthz. See internal/server for the JSON shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"ngfix/internal/core"
+	"ngfix/internal/dataset"
+	"ngfix/internal/graph"
+	"ngfix/internal/hnsw"
+	"ngfix/internal/server"
+	"ngfix/internal/vec"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	indexPath := flag.String("index", "", "prebuilt index file (from ngfix-build)")
+	basePath := flag.String("base", "", "base vectors file (builds an HNSW base graph at startup)")
+	metricName := flag.String("metric", "l2", "metric when building from -base: l2 | ip | cosine")
+	m := flag.Int("m", 16, "HNSW M when building from -base")
+	efc := flag.Int("efc", 200, "HNSW efConstruction when building from -base")
+	lex := flag.Int("lex", 48, "extra-degree budget for online fixing")
+	batch := flag.Int("fix-batch", 128, "queries per online fix batch")
+	sample := flag.Int("fix-sample", 1, "record every n-th query for fixing")
+	autofix := flag.Bool("autofix", false, "fix synchronously when the batch fills (otherwise POST /v1/fix or use -fix-interval)")
+	interval := flag.Duration("fix-interval", 0, "background fixing period (0 disables)")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch {
+	case *indexPath != "":
+		var err error
+		g, err = graph.Load(*indexPath)
+		if err != nil {
+			log.Fatalf("load index: %v", err)
+		}
+		log.Printf("loaded index: %d vectors, dim %d, metric %s", g.Len(), g.Dim(), g.Metric)
+	case *basePath != "":
+		base, err := dataset.LoadMatrix(*basePath)
+		if err != nil {
+			log.Fatalf("load base: %v", err)
+		}
+		metric, err := parseMetric(*metricName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		g = hnsw.Build(base, hnsw.Config{M: *m, EFConstruction: *efc, Metric: metric, Seed: 7}).Bottom()
+		log.Printf("built HNSW base over %d vectors in %s", base.Rows(), time.Since(start).Round(time.Millisecond))
+	default:
+		log.Fatal("one of -index or -base is required")
+	}
+
+	ix := core.New(g, core.Options{LEx: *lex})
+	fixer := core.NewOnlineFixer(ix, core.OnlineConfig{
+		BatchSize: *batch, SampleEvery: *sample, AutoFix: *autofix,
+	})
+	if *interval > 0 {
+		go func() {
+			for range time.Tick(*interval) {
+				if rep := fixer.FixPending(); rep.Queries > 0 {
+					log.Printf("online fix: %d queries, +%d edges", rep.Queries, rep.NGFixEdges+rep.RFixEdges)
+				}
+			}
+		}()
+	}
+
+	log.Printf("serving on %s (fix batch %d, autofix %v, interval %s)", *addr, *batch, *autofix, *interval)
+	if err := http.ListenAndServe(*addr, server.New(fixer)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseMetric(s string) (vec.Metric, error) {
+	switch strings.ToLower(s) {
+	case "l2", "euclidean":
+		return vec.L2, nil
+	case "ip", "innerproduct", "dot":
+		return vec.InnerProduct, nil
+	case "cos", "cosine":
+		return vec.Cosine, nil
+	}
+	return 0, fmt.Errorf("unknown metric %q", s)
+}

@@ -1,0 +1,15 @@
+// Package ngfix is a from-scratch Go reproduction of "Dynamically Detect
+// and Fix Hardness for Efficient Approximate Nearest Neighbor Search" —
+// Escape Hardness, NGFix, RFix, and their maintenance machinery — together
+// with the baselines its evaluation compares against (HNSW, NSG, τ-MNG,
+// RoarGraph) and a harness that regenerates every table and figure of the
+// paper on synthetic cross-modal workloads.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for measured
+// results against the paper's claims.
+//
+// The root package intentionally exports nothing; the library lives under
+// internal/ and is exercised through the binaries in cmd/, the runnable
+// examples in examples/, and the benchmarks in bench_test.go.
+package ngfix

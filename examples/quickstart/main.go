@@ -1,0 +1,59 @@
+// Quickstart: build an HNSW base graph over a synthetic dataset, repair it
+// with NGFix* using historical queries, and search — the minimal
+// end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/core"
+	"ngfix/internal/dataset"
+	"ngfix/internal/graph"
+	"ngfix/internal/hnsw"
+	"ngfix/internal/metrics"
+)
+
+func main() {
+	// 1. A workload: image-like base vectors, text-like (OOD) queries.
+	d := dataset.Generate(dataset.LAION(0.25))
+	fmt.Printf("dataset: %d base vectors (dim %d), %d historical queries\n",
+		d.Base.Rows(), d.Base.Dim(), d.History.Rows())
+
+	// 2. Any base graph works; the paper (and this example) uses HNSW's
+	// bottom layer.
+	h := hnsw.Build(d.Base, hnsw.DefaultConfig(d.Config.Metric))
+	ix := core.New(h.Bottom(), core.Options{
+		Rounds: []core.Round{{K: 30, RFix: true}, {K: 10}},
+		LEx:    48,
+	})
+
+	// 3. Fix the graph where the historical queries found it defective.
+	// ApproxTruth is the fast preprocessing path; ExactTruth also works.
+	truth := ix.ApproxTruth(d.History, 60, 200)
+	rep := ix.Fix(d.History, truth)
+	fmt.Printf("fixed: +%d NGFix edges, +%d RFix edges in %s\n",
+		rep.NGFixEdges, rep.RFixEdges, rep.Elapsed.Round(1e6))
+
+	// 4. Search. Unseen OOD queries benefit from the repair.
+	gt := bruteforce.AllKNN(d.Base, d.TestOOD, d.Config.Metric, 10)
+	var recall float64
+	for qi := 0; qi < d.TestOOD.Rows(); qi++ {
+		res, _ := ix.Search(d.TestOOD.Row(qi), 10, 20)
+		recall += metrics.Recall(graph.IDs(res), bruteforce.IDs(gt[qi]))
+	}
+	recall /= float64(d.TestOOD.Rows())
+	fmt.Printf("recall@10 on unseen OOD queries (ef=20): %.3f\n", recall)
+
+	// 5. Persist and reload.
+	if err := ix.G.Save("/tmp/quickstart.ngig"); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := graph.Load("/tmp/quickstart.ngig")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round-tripped index: %d vectors, avg degree %.1f\n",
+		loaded.Len(), loaded.AvgDegree())
+}

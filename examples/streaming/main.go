@@ -1,0 +1,70 @@
+// Streaming maintenance: a live index absorbing inserts and deletes while
+// staying fixed. Demonstrates §5.5 — HNSW-style insertion, the partial
+// rebuild that refreshes extra edges after growth, lazy deletion, and the
+// purge-with-NGFix-repair pass, with recall measured at every stage.
+package main
+
+import (
+	"fmt"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/core"
+	"ngfix/internal/dataset"
+	"ngfix/internal/graph"
+	"ngfix/internal/hnsw"
+	"ngfix/internal/metrics"
+)
+
+func recallNow(ix *core.Index, d *dataset.Dataset, label string) {
+	gt := make([][]bruteforce.Neighbor, d.TestOOD.Rows())
+	for qi := range gt {
+		gt[qi] = bruteforce.KNN(ix.G.Vectors, ix.G.Metric, d.TestOOD.Row(qi), 10,
+			func(id uint32) bool { return ix.G.IsDeleted(id) })
+	}
+	var sum float64
+	var ndc int64
+	for qi := 0; qi < d.TestOOD.Rows(); qi++ {
+		res, st := ix.Search(d.TestOOD.Row(qi), 10, 30)
+		ndc += st.NDC
+		sum += metrics.Recall(graph.IDs(res), bruteforce.IDs(gt[qi]))
+	}
+	n := float64(d.TestOOD.Rows())
+	fmt.Printf("%-34s recall@10=%.3f  NDC/query=%.0f  vertices=%d live\n",
+		label, sum/n, float64(ndc)/n, ix.G.Live())
+}
+
+func main() {
+	d := dataset.Generate(dataset.WebVid(0.3))
+	h := hnsw.Build(d.Base, hnsw.DefaultConfig(d.Config.Metric))
+	ix := core.New(h.Bottom(), core.Options{
+		Rounds: []core.Round{{K: 30, RFix: true}, {K: 10}},
+		LEx:    48, InsertM: 16, InsertEF: 150,
+	})
+	ix.Fix(d.History, core.ExactTruth(d.Base, d.History, d.Config.Metric, 60))
+	recallNow(ix, d, "after initial fix:")
+
+	// Stream in 20% new points.
+	newPts := d.MoreQueries(d.Base.Rows()/5, false, 31)
+	for i := 0; i < newPts.Rows(); i++ {
+		ix.Insert(newPts.Row(i))
+	}
+	recallNow(ix, d, "after +20% inserts (no rebuild):")
+
+	// Partial rebuild: drop 20% of extra edges, re-fix with half the history.
+	sample := d.History.Slice(0, d.History.Rows()/2)
+	truth := core.ExactTruth(ix.G.Vectors, sample, d.Config.Metric, 60)
+	ix.PartialRebuild(0.2, sample, truth)
+	recallNow(ix, d, "after partial rebuild (p=0.5):")
+
+	// Delete 15% of the original points lazily...
+	for i := 0; i < d.Base.Rows()*3/20; i++ {
+		ix.Delete(uint32(i * 2))
+	}
+	recallNow(ix, d, "after 15% lazy deletes:")
+
+	// ...then purge tombstones and repair the holes with NGFix.
+	rep := ix.PurgeAndRepair(20, 150)
+	fmt.Printf("purge: removed %d vertices, %d edges; repair added %d edges in %s\n",
+		rep.Purged, rep.EdgesRemoved, rep.RepairEdges, rep.Elapsed.Round(1e6))
+	recallNow(ix, d, "after purge + NGFix repair:")
+}

@@ -1,0 +1,3 @@
+module ngfix
+
+go 1.22

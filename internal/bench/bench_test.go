@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ngfix/internal/dataset"
+)
+
+// tinyScale keeps in-test experiment runs fast.
+const tinyScale = dataset.Scale(0.06)
+
+func TestTableFormatting(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"a", "bb"}, Notes: []string{"note"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("xyz", 0.00001)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a", "bb", "xyz", "# note", "1.00e-05", "2.5000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0.0000",
+		2.5:     "2.5000",
+		123.456: "123.46",
+		12345.6: "12346",
+		1e-9:    "1.00e-09",
+	}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig8"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if len(Experiments()) != 21 {
+		t.Fatalf("expected 21 experiments, got %d", len(Experiments()))
+	}
+	for _, e := range Experiments() {
+		if e.Run == nil || e.ID == "" || e.Description == "" {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+	}
+}
+
+func TestFixtureCachingAndClone(t *testing.T) {
+	ResetFixtures()
+	cfg := dataset.SIFT(tinyScale)
+	f1 := GetFixture(cfg)
+	f2 := GetFixture(cfg)
+	if f1 != f2 {
+		t.Fatal("fixture not cached")
+	}
+	g1 := f1.Base()
+	g2 := f1.Base()
+	g1.AddExtraEdge(0, 1, 3)
+	if g2.ExtraDegree(0) != 0 {
+		t.Fatal("Base() clones share state")
+	}
+	if len(f1.GTOOD) != f1.D.TestOOD.Rows() || len(f1.HistTruth) != f1.D.History.Rows() {
+		t.Fatal("ground truth sizes wrong")
+	}
+	ResetFixtures()
+}
+
+// Smoke-run every experiment at tiny scale: each must produce non-empty,
+// well-formed tables without panicking. This is the integration test of
+// the whole harness (indexes, sweeps, fixing, maintenance).
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is not -short")
+	}
+	ResetFixtures()
+	t.Cleanup(ResetFixtures)
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(tinyScale)
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if tb.Title == "" || len(tb.Columns) == 0 {
+					t.Fatalf("malformed table %+v", tb.Title)
+				}
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tb.Title)
+				}
+				for _, r := range tb.Rows {
+					if len(r) != len(tb.Columns) {
+						t.Fatalf("table %q: row width %d != %d columns (%v)", tb.Title, len(r), len(tb.Columns), r)
+					}
+				}
+				var buf bytes.Buffer
+				if err := tb.Write(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The paper's core comparative claim, asserted at small scale: on a
+// cross-modal dataset, NGFix* reaches a recall no baseline configuration
+// beats at the same ef, and improves on plain HNSW.
+func TestHeadlineOrderingHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not -short")
+	}
+	ResetFixtures()
+	t.Cleanup(ResetFixtures)
+	cfg := dataset.LAION(dataset.Scale(0.12))
+	f := GetFixture(cfg)
+	hnswCurve := SweepGraph(f.Base(), f.D.TestOOD, f.GTOOD)
+	ix, _, _ := BuildNGFix(f, 0, defaultOptions())
+	fixedCurve := SweepGraph(ix.G, f.D.TestOOD, f.GTOOD)
+	// Compare recall at the smallest ef (hardest operating point).
+	if fixedCurve[0].Recall <= hnswCurve[0].Recall {
+		t.Fatalf("NGFix* recall %.3f not above HNSW %.3f at ef=%d",
+			fixedCurve[0].Recall, hnswCurve[0].Recall, fixedCurve[0].EF)
+	}
+}

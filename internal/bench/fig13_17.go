@@ -1,0 +1,380 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/core"
+	"ngfix/internal/dataset"
+	"ngfix/internal/graph"
+	"ngfix/internal/metrics"
+	"ngfix/internal/vec"
+)
+
+// Fig13 regenerates the Figure 13 ablations:
+// (a) exact-NN vs approximate-NN preprocessing,
+// (b) the correlation between a query's pre-fix accuracy and how many
+// edges NGFix adds for it (EH concentrates repair on hard queries),
+// (c) NGFix vs RNG reconstruction vs random connection.
+func Fig13(s dataset.Scale) []Table {
+	cfg := dataset.LAION(s)
+	f := GetFixture(cfg)
+
+	// (a) preprocessing methods.
+	ta := Table{
+		Title:   "Figure 13(a): exact vs approximate NN preprocessing (LAION analogue)",
+		Columns: []string{"preprocessing", "QPS@r0.90", "QPS@r0.95", "maxRecall", "fixTime"},
+	}
+	ixExact, _, tmExact := BuildNGFix(f, 0, defaultOptions())
+	cE := SweepGraph(ixExact.G, f.D.TestOOD, f.GTOOD)
+	q90, _ := summaryAt(cE, 0.90, 0.01)
+	q95, _ := summaryAt(cE, 0.95, 0.01)
+	ta.AddRow("ExactKNN", q90, q95, cE.MaxRecall(), tmExact.String())
+	for _, ef := range []int{100, 300} {
+		ixA, tmA := BuildNGFixApprox(f, 0, ef, defaultOptions())
+		cA := SweepGraph(ixA.G, f.D.TestOOD, f.GTOOD)
+		q90, _ = summaryAt(cA, 0.90, 0.01)
+		q95, _ = summaryAt(cA, 0.95, 0.01)
+		ta.AddRow(fmt.Sprintf("AKNN-%d", ef), q90, q95, cA.MaxRecall(), tmA.String())
+	}
+
+	// (b) hardness vs edges added.
+	tb := Table{
+		Title:   "Figure 13(b): pre-fix query recall vs edges NGFix adds (per historical query)",
+		Columns: []string{"pre-fix recall bucket", "queries", "mean edges added"},
+	}
+	g := f.Base()
+	sr := graph.NewSearcher(g)
+	pre := make([]float64, f.D.History.Rows())
+	for qi := range pre {
+		res, _ := sr.Search(f.D.History.Row(qi), K, K)
+		pre[qi] = metrics.Recall(graph.IDs(res), bruteforce.IDs(f.HistTruth[qi])[:K])
+	}
+	ix := core.New(g, defaultOptions())
+	rep := ix.Fix(f.D.History, f.HistTruth)
+	edges := make([]float64, len(rep.PerQueryEdges))
+	for i, e := range rep.PerQueryEdges {
+		edges[i] = float64(e)
+	}
+	lo := 0.0
+	for _, hi := range []float64{0.25, 0.5, 0.75, 1.0, 1.01} {
+		var n int
+		var sum float64
+		for qi := range pre {
+			inBucket := pre[qi] >= lo && pre[qi] < hi
+			if hi == 1.01 {
+				inBucket = pre[qi] >= 1.0
+			} else if hi == 1.0 {
+				inBucket = pre[qi] >= lo && pre[qi] < 1.0
+			}
+			if inBucket {
+				n++
+				sum += edges[qi]
+			}
+		}
+		label := fmt.Sprintf("[%.2f,%.2f)", lo, hi)
+		if hi == 1.01 {
+			label = "=1.00"
+		}
+		if n > 0 {
+			tb.AddRow(label, n, sum/float64(n))
+		} else {
+			tb.AddRow(label, 0, "-")
+		}
+		if hi <= 1.0 {
+			lo = hi
+		}
+	}
+	tb.Notes = append(tb.Notes, fmt.Sprintf(
+		"Pearson correlation(pre-fix recall, edges added) = %.3f (strongly negative ⇒ EH targets hard queries)",
+		metrics.Pearson(pre, edges)))
+
+	// (c) defect fixing methods.
+	tc := Table{
+		Title:   "Figure 13(c): defect-fixing methods (LAION analogue)",
+		Columns: []string{"method", "QPS@r0.90", "QPS@r0.95", "maxRecall", "avgExtraDeg"},
+	}
+	type fixerEntry struct {
+		name string
+		run  func(g *graph.Graph) int
+	}
+	params := core.NGFixParams{K: 30, LEx: 48}
+	entries := []fixerEntry{
+		{"NGFix", func(g *graph.Graph) int {
+			total := 0
+			for qi := 0; qi < f.D.History.Rows(); qi++ {
+				total += core.NGFix(g, bruteforce.IDs(f.HistTruth[qi]), params).EdgesAdded
+			}
+			return total
+		}},
+		{"ReconstructRNG", func(g *graph.Graph) int {
+			total := 0
+			for qi := 0; qi < f.D.History.Rows(); qi++ {
+				total += core.FixReconstructRNG(g, bruteforce.IDs(f.HistTruth[qi]), params).EdgesAdded
+			}
+			return total
+		}},
+		{"RandomConnect", func(g *graph.Graph) int {
+			rng := rand.New(rand.NewSource(3))
+			total := 0
+			for qi := 0; qi < f.D.History.Rows(); qi++ {
+				total += core.FixRandom(g, bruteforce.IDs(f.HistTruth[qi]), params, rng).EdgesAdded
+			}
+			return total
+		}},
+	}
+	for _, e := range entries {
+		g := f.Base()
+		e.run(g)
+		c := SweepGraph(g, f.D.TestOOD, f.GTOOD)
+		q90, _ := summaryAt(c, 0.90, 0.01)
+		q95, _ := summaryAt(c, 0.95, 0.01)
+		_, extra := g.EdgeCount()
+		tc.AddRow(e.name, q90, q95, c.MaxRecall(), float64(extra)/float64(g.Len()))
+	}
+	return []Table{ta, tb, tc}
+}
+
+// Fig14 regenerates Figure 14: edge-pruning strategies under a tight
+// extra-degree budget — EH-based eviction vs random vs MRNG.
+func Fig14(s dataset.Scale) []Table {
+	cfg := dataset.LAION(s)
+	f := GetFixture(cfg)
+	t := Table{
+		Title:   "Figure 14: edge-pruning strategies under a tight budget (LEx=8)",
+		Columns: []string{"pruning", "QPS@r0.90", "QPS@r0.95", "maxRecall"},
+		Notes: []string{
+			"The expected order: EH > Random > MRNG. MRNG pruning drops long edges, which are",
+			"exactly the edges hard OOD queries rely on (their NNs scatter across regions).",
+		},
+	}
+	for _, e := range []struct {
+		name string
+		mode core.PruneMode
+	}{
+		{"EH", core.PruneEH},
+		{"Random", core.PruneRandom},
+		{"MRNG", core.PruneMRNG},
+	} {
+		opts := defaultOptions()
+		opts.LEx = 8
+		opts.Prune = e.mode
+		ix, _, _ := BuildNGFix(f, 0, opts)
+		c := SweepGraph(ix.G, f.D.TestOOD, f.GTOOD)
+		q90, _ := summaryAt(c, 0.90, 0.01)
+		q95, _ := summaryAt(c, 0.95, 0.01)
+		t.AddRow(e.name, q90, q95, c.MaxRecall())
+	}
+	return []Table{t}
+}
+
+// Fig15 regenerates Figure 15: NGFix vs NGFix* (the RFix contribution).
+// On the Gaussian-mixture analogues greedy search essentially always
+// reaches the query vicinity (the paper itself reports reach failures for
+// only a small subset of queries, mostly on MainSearch's production
+// geometry), so the mixture rows mainly confirm RFix does no harm. The
+// "Islands" rows then reproduce the failure regime itself — the paper's
+// Figure 2(a) scenario: a base graph whose entry-side region has no
+// outgoing paths toward the query-dense region — where RFix's repair is
+// decisive.
+func Fig15(s dataset.Scale) []Table {
+	t := Table{
+		Title:   "Figure 15: NGFix vs NGFix* (RFix ablation)",
+		Columns: []string{"dataset", "index", "QPS@r0.90", "QPS@r0.95", "maxRecall", "rfixTriggered"},
+		Notes: []string{
+			"Islands = synthetic reachability-failure workload (two separated regions, entry-side",
+			"only): greedy search stalls before the query vicinity, the §5.4 regime. NGFix alone",
+			"cannot help (it only repairs the neighborhood's interior); RFix bridges the gap.",
+		},
+	}
+	for _, cfg := range []dataset.Config{dataset.MainSearch(s), dataset.LAION(s)} {
+		f := GetFixture(cfg)
+		noRFix := defaultOptions()
+		noRFix.Rounds = []core.Round{{K: 30}, {K: 10}}
+		ixN, repN, _ := BuildNGFix(f, 0, noRFix)
+		cN := SweepGraph(ixN.G, f.D.TestOOD, f.GTOOD)
+		q90, _ := summaryAt(cN, 0.90, 0.01)
+		q95, _ := summaryAt(cN, 0.95, 0.01)
+		t.AddRow(cfg.Name, "HNSW-NGFix", q90, q95, cN.MaxRecall(), repN.RFixTriggered)
+
+		ixS, repS, _ := BuildNGFix(f, 0, defaultOptions())
+		cS := SweepGraph(ixS.G, f.D.TestOOD, f.GTOOD)
+		q90, _ = summaryAt(cS, 0.90, 0.01)
+		q95, _ = summaryAt(cS, 0.95, 0.01)
+		t.AddRow(cfg.Name, "HNSW-NGFix*", q90, q95, cS.MaxRecall(), repS.RFixTriggered)
+	}
+
+	// Islands workload.
+	base, hist, test, gt, histGT := islandsWorkload(s)
+	for _, withRFix := range []bool{false, true} {
+		g := base.Clone()
+		opts := defaultOptions()
+		if !withRFix {
+			opts.Rounds = []core.Round{{K: 30}, {K: 10}}
+		}
+		ix := core.New(g, opts)
+		// Pin the entry to the entry-side island's medoid so the failure
+		// regime is deterministic.
+		ix.G.EntryPoint = 0
+		rep := ix.Fix(hist, histGT)
+		c := SweepGraph(ix.G, test, gt)
+		name := "Islands-NGFix"
+		if withRFix {
+			name = "Islands-NGFix*"
+		}
+		q90, _ := summaryAt(c, 0.90, 0.01)
+		q95, _ := summaryAt(c, 0.95, 0.01)
+		t.AddRow("Islands", name, q90, q95, c.MaxRecall(), rep.RFixTriggered)
+	}
+	return []Table{t}
+}
+
+// islandsWorkload builds the reachability-failure scenario: two Gaussian
+// blobs far apart; the base graph has kNN edges *within* each blob only
+// and the search entry sits in blob A, while all queries target blob B.
+func islandsWorkload(s dataset.Scale) (*graph.Graph, *vec.Matrix, *vec.Matrix, []gtList, []gtList) {
+	n := int(1200 * float64(scaleOr1(s)))
+	if n < 60 {
+		n = 60
+	}
+	half := n / 2
+	dim := 16
+	rng := rand.New(rand.NewSource(77))
+	base := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		off := float32(0)
+		if i >= half {
+			off = 12 // far island
+		}
+		row := base.Row(i)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64()) * 0.5
+		}
+		row[0] += off
+	}
+	g := graph.New(base, vec.L2)
+	link := func(lo, hi int) {
+		knn := graph.BruteKNNGraph(base.Slice(lo, hi), vec.L2, 8)
+		for u, nbrs := range knn.Neighbors {
+			for _, c := range nbrs {
+				g.AddBaseEdge(uint32(lo+u), uint32(lo)+c.ID)
+			}
+		}
+	}
+	link(0, half)
+	link(half, n)
+	g.EntryPoint = 0
+
+	mkQueries := func(count int, seed int64) *vec.Matrix {
+		r := rand.New(rand.NewSource(seed))
+		q := vec.NewMatrix(count, dim)
+		for i := 0; i < count; i++ {
+			row := q.Row(i)
+			for j := range row {
+				row[j] = float32(r.NormFloat64()) * 0.6
+			}
+			row[0] += 12
+		}
+		return q
+	}
+	hist := mkQueries(n/4, 5)
+	test := mkQueries(n/10, 6)
+	histGT := bruteforce.AllKNN(base, hist, vec.L2, GTDepth)
+	gt := bruteforce.AllKNN(base, test, vec.L2, GTDepth)
+	return g, hist, test, gt, histGT
+}
+
+type gtList = []bruteforce.Neighbor
+
+func scaleOr1(s dataset.Scale) dataset.Scale {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// Fig16 regenerates Figure 16: construction time and index size across
+// indexes and datasets, including NGFix*'s exact vs approximate
+// preprocessing (the 2.35–9.02× construction-speed headline vs RoarGraph).
+func Fig16(s dataset.Scale) []Table {
+	t := Table{
+		Title:   "Figure 16: construction time and index size",
+		Columns: []string{"dataset", "index", "buildTime", "indexMB", "avgDegree"},
+		Notes: []string{
+			"NGFix* time includes the HNSW base build plus fixing; the approximate-preprocessing",
+			"variant is the paper's fast path (RoarGraph cannot use it: it has no complete graph",
+			"over the base when it needs the query ground truth).",
+		},
+	}
+	for _, cfg := range []dataset.Config{dataset.TextToImage(s), dataset.LAION(s)} {
+		f := GetFixture(cfg)
+
+		t.AddRow(cfg.Name, "HNSW", f.HNSWTime.String(), mb(f.Base().SizeBytes()), f.Base().AvgDegree())
+
+		nsgG, nsgTime := BuildNSG(f)
+		t.AddRow(cfg.Name, "NSG", nsgTime.String(), mb(nsgG.SizeBytes()), nsgG.AvgDegree())
+
+		roarG, roarTime := BuildRoar(f, 0)
+		t.AddRow(cfg.Name, "RoarGraph", roarTime.String(), mb(roarG.SizeBytes()), roarG.AvgDegree())
+
+		ixE, _, fixE := BuildNGFix(f, 0, defaultOptions())
+		t.AddRow(cfg.Name, "NGFix*-ExactKNN", (f.HNSWTime + fixE).String(), mb(ixE.G.SizeBytes()), ixE.G.AvgDegree())
+
+		ixA, fixA := BuildNGFixApprox(f, 0, 150, defaultOptions())
+		t.AddRow(cfg.Name, "NGFix*-AKNN", (f.HNSWTime + fixA).String(), mb(ixA.G.SizeBytes()), ixA.G.AvgDegree())
+	}
+	return []Table{t}
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+// Fig17 regenerates Figure 17: parameter sensitivity — the fixing
+// neighborhood K, the extra-degree budget LEx, the δ threshold, and the
+// one-round vs two-round schedule.
+func Fig17(s dataset.Scale) []Table {
+	cfg := dataset.LAION(s)
+	f := GetFixture(cfg)
+	mkOpts := func(rounds []core.Round, lex int) core.Options {
+		o := defaultOptions()
+		o.Rounds = rounds
+		if lex > 0 {
+			o.LEx = lex
+		}
+		return o
+	}
+	run := func(t *Table, label string, o core.Options) {
+		ix, _, _ := BuildNGFix(f, 0, o)
+		c := SweepGraph(ix.G, f.D.TestOOD, f.GTOOD)
+		q90, _ := summaryAt(c, 0.90, 0.01)
+		q95, _ := summaryAt(c, 0.95, 0.01)
+		t.AddRow(label, q90, q95, c.MaxRecall(), ix.G.AvgDegree())
+	}
+
+	tk := Table{Title: "Figure 17: sensitivity to K (single round, LEx=48)",
+		Columns: []string{"config", "QPS@r0.90", "QPS@r0.95", "maxRecall", "avgDegree"}}
+	for _, k := range []int{10, 20, 30, 45} {
+		run(&tk, fmt.Sprintf("K=%d", k), mkOpts([]core.Round{{K: k}}, 0))
+	}
+
+	tl := Table{Title: "Figure 17: sensitivity to LEx (K=30 single round)",
+		Columns: []string{"config", "QPS@r0.90", "QPS@r0.95", "maxRecall", "avgDegree"}}
+	for _, lex := range []int{8, 16, 48, 96} {
+		run(&tl, fmt.Sprintf("LEx=%d", lex), mkOpts([]core.Round{{K: 30}}, lex))
+	}
+
+	td := Table{Title: "Figure 17: sensitivity to delta (K=30 single round, KMax=60)",
+		Columns: []string{"config", "QPS@r0.90", "QPS@r0.95", "maxRecall", "avgDegree"}}
+	for _, delta := range []uint16{30, 45, 60} {
+		run(&td, fmt.Sprintf("delta=%d", delta), mkOpts([]core.Round{{K: 30, KMax: 60, Delta: delta}}, 0))
+	}
+
+	tr := Table{Title: "Figure 17: fixing schedule (rounds)",
+		Columns: []string{"config", "QPS@r0.90", "QPS@r0.95", "maxRecall", "avgDegree"},
+		Notes:   []string{"The paper's recommendation: one large-K round plus a K=10 round beats either alone."}}
+	run(&tr, "K=30 only", mkOpts([]core.Round{{K: 30, RFix: true}}, 0))
+	run(&tr, "K=10 only", mkOpts([]core.Round{{K: 10, RFix: true}}, 0))
+	run(&tr, "K=30 then K=10", mkOpts([]core.Round{{K: 30, RFix: true}, {K: 10}}, 0))
+
+	return []Table{tk, tl, td, tr}
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+
+	"fmt"
+
+	"ngfix/internal/dataset"
+)
+
+// The Islands rows of Figure 15 must demonstrate the RFix effect: without
+// RFix the far island is unreachable (recall stuck near zero); with RFix
+// it becomes searchable.
+func TestFig15IslandsShowsRFixEffect(t *testing.T) {
+	ResetFixtures()
+	t.Cleanup(ResetFixtures)
+	tables := Fig15(dataset.Scale(0.08))
+	if len(tables) != 1 {
+		t.Fatalf("Fig15 returned %d tables", len(tables))
+	}
+	var noRFix, withRFix string
+	var trigN, trigS string
+	for _, row := range tables[0].Rows {
+		if row[0] != "Islands" {
+			continue
+		}
+		switch row[1] {
+		case "Islands-NGFix":
+			noRFix, trigN = row[4], row[5]
+		case "Islands-NGFix*":
+			withRFix, trigS = row[4], row[5]
+		}
+	}
+	if noRFix == "" || withRFix == "" {
+		t.Fatalf("missing Islands rows: %+v", tables[0].Rows)
+	}
+	if trigN != "0" {
+		t.Errorf("NGFix-only run reported RFix triggers: %s", trigN)
+	}
+	if trigS == "0" {
+		t.Errorf("NGFix* run never triggered RFix on the islands workload")
+	}
+	var rN, rS float64
+	if _, err := fmt.Sscan(noRFix, &rN); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscan(withRFix, &rS); err != nil {
+		t.Fatal(err)
+	}
+	if rS < 0.9 {
+		t.Errorf("with RFix, islands maxRecall = %v, want >= 0.9", rS)
+	}
+	if rN >= rS {
+		t.Errorf("RFix did not improve islands recall: %v vs %v", rN, rS)
+	}
+}

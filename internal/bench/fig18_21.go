@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/core"
+	"ngfix/internal/dataset"
+	"ngfix/internal/graph"
+	"ngfix/internal/hnsw"
+	"ngfix/internal/metrics"
+	"ngfix/internal/nsg"
+	"ngfix/internal/vec"
+)
+
+// Fig18 regenerates Figure 18: index quality after inserting 20% new base
+// points, comparing plain HNSW insertion against partial rebuilds with
+// increasing proportion p, and a full rebuild, together with the
+// time-vs-p trade-off (the paper: p=0.5 costs 28.5% of a full rebuild).
+func Fig18(s dataset.Scale) []Table {
+	cfg := dataset.TextToImage(s)
+	f := GetFixture(cfg)
+	d := f.D
+	metric := cfg.Metric
+
+	// New points: 20% fresh base-distribution samples.
+	nNew := d.Base.Rows() / 5
+	newPts := d.MoreQueries(nNew, false, 991)
+
+	// Ground truth for test queries over base ∪ new.
+	full := d.Base.Clone()
+	for i := 0; i < nNew; i++ {
+		full.Append(newPts.Row(i))
+	}
+	gt := bruteforce.AllKNN(full, d.TestOOD, metric, K)
+
+	sweep := func(g *graph.Graph) metrics.Curve {
+		return metrics.Sweep(g, metrics.SweepConfig{K: K, EFs: StandardEFs(), Queries: d.TestOOD, Truth: gt})
+	}
+
+	t := Table{
+		Title:   "Figure 18: insertion of 20% new points (TextToImage analogue)",
+		Columns: []string{"strategy", "QPS@r0.90", "maxRecall", "time(insert+rebuild)"},
+	}
+
+	buildFixed := func() (*core.Index, time.Duration) {
+		return mustFix(f)
+	}
+	insertAll := func(ix *core.Index) time.Duration {
+		start := time.Now()
+		for i := 0; i < nNew; i++ {
+			ix.Insert(newPts.Row(i))
+		}
+		return time.Since(start)
+	}
+	sampleTruth := func(ix *core.Index, n int) (*vec.Matrix, [][]bruteforce.Neighbor) {
+		if n > d.History.Rows() {
+			n = d.History.Rows()
+		}
+		sample := d.History.Slice(0, n)
+		return sample, bruteforce.AllKNN(ix.G.Vectors, sample, metric, GTDepth)
+	}
+
+	// (a) plain insertion, no rebuild.
+	ix, _ := buildFixed()
+	insTime := insertAll(ix)
+	c := sweep(ix.G)
+	q90, _ := summaryAt(c, 0.90, 0.01)
+	t.AddRow("HNSW-insert only", q90, c.MaxRecall(), insTime.String())
+
+	// (b,c) partial rebuilds.
+	for _, p := range []float64{0.2, 0.5} {
+		ix, _ := buildFixed()
+		tm := insertAll(ix)
+		sample, st := sampleTruth(ix, int(p*float64(d.History.Rows())))
+		start := time.Now()
+		ix.PartialRebuild(p, sample, st)
+		tm += time.Since(start)
+		c := sweep(ix.G)
+		q90, _ := summaryAt(c, 0.90, 0.01)
+		t.AddRow(fmt.Sprintf("Partial Rebuild p=%.1f", p), q90, c.MaxRecall(), tm.String())
+	}
+
+	// (d) full rebuild: HNSW + full fix over base ∪ new.
+	start := time.Now()
+	fullFix := core.New(rebuildBase(full, metric), defaultOptions())
+	ht := bruteforce.AllKNN(full, d.History, metric, GTDepth)
+	fullFix.Fix(d.History, ht)
+	fullTime := time.Since(start)
+	c = sweep(fullFix.G)
+	q90, _ = summaryAt(c, 0.90, 0.01)
+	t.AddRow("Full Rebuild", q90, c.MaxRecall(), fullTime.String())
+	return []Table{t}
+}
+
+// Fig19 regenerates Figure 19: deleting 20% of the base — lazy deletion vs
+// purge-with-NGFix-repair vs full rebuild — plus the right panel's NSG
+// robustness check (NGFix repair on a plain NSG index).
+func Fig19(s dataset.Scale) []Table {
+	cfg := dataset.TextToImage(s)
+	f := GetFixture(cfg)
+	d := f.D
+	metric := cfg.Metric
+	nDel := d.Base.Rows() / 5
+	isDel := func(id uint32) bool { return int(id) < nDel }
+
+	// Ground truth over live points only.
+	gt := make([][]bruteforce.Neighbor, d.TestOOD.Rows())
+	for qi := range gt {
+		gt[qi] = bruteforce.KNN(d.Base, metric, d.TestOOD.Row(qi), K, isDel)
+	}
+	sweep := func(g *graph.Graph) metrics.Curve {
+		return metrics.Sweep(g, metrics.SweepConfig{K: K, EFs: StandardEFs(), Queries: d.TestOOD, Truth: gt})
+	}
+
+	t := Table{
+		Title:   "Figure 19 (left): deleting 20% of the base (TextToImage analogue)",
+		Columns: []string{"strategy", "QPS@r0.90", "maxRecall", "time"},
+	}
+
+	// Lazy deletion.
+	ixLazy, _ := mustFix(f)
+	start := time.Now()
+	for i := 0; i < nDel; i++ {
+		ixLazy.Delete(uint32(i))
+	}
+	lazyTime := time.Since(start)
+	c := sweep(ixLazy.G)
+	q90, _ := summaryAt(c, 0.90, 0.01)
+	t.AddRow("Lazy deletion", q90, c.MaxRecall(), lazyTime.String())
+
+	// Purge + NGFix repair.
+	ixRepair, _ := mustFix(f)
+	start = time.Now()
+	for i := 0; i < nDel; i++ {
+		ixRepair.Delete(uint32(i))
+	}
+	ixRepair.PurgeAndRepair(20, 120)
+	repairTime := time.Since(start)
+	c = sweep(ixRepair.G)
+	q90, _ = summaryAt(c, 0.90, 0.01)
+	t.AddRow("NGFix repair", q90, c.MaxRecall(), repairTime.String())
+
+	// Full rebuild on live points (ids shift, so rebuild into a matrix
+	// with tombstone rows zeroed out of reach by excluding them).
+	start = time.Now()
+	live := vec.NewMatrix(0, d.Base.Dim())
+	for i := nDel; i < d.Base.Rows(); i++ {
+		live.Append(d.Base.Row(i))
+	}
+	g := rebuildBase(live, metric)
+	ixFull := core.New(g, defaultOptions())
+	ht := bruteforce.AllKNN(live, d.History, metric, GTDepth)
+	ixFull.Fix(d.History, ht)
+	fullTime := time.Since(start)
+	// Remap ground truth ids (live id = base id − nDel).
+	gtLive := make([][]bruteforce.Neighbor, len(gt))
+	for qi := range gt {
+		gtLive[qi] = make([]bruteforce.Neighbor, len(gt[qi]))
+		for i, nb := range gt[qi] {
+			gtLive[qi][i] = bruteforce.Neighbor{ID: nb.ID - uint32(nDel), Dist: nb.Dist}
+		}
+	}
+	cF := metrics.Sweep(ixFull.G, metrics.SweepConfig{K: K, EFs: StandardEFs(), Queries: d.TestOOD, Truth: gtLive})
+	q90, _ = summaryAt(cF, 0.90, 0.01)
+	t.AddRow("Full rebuild", q90, cF.MaxRecall(), fullTime.String())
+
+	// Right panel: NGFix repair on a plain NSG (no historical fixing).
+	tn := Table{
+		Title:   "Figure 19 (right): deletion repair on a plain NSG index",
+		Columns: []string{"strategy", "QPS@r0.90", "maxRecall"},
+		Notes:   []string{"NGFix-as-deletion-repair works on any graph index, not just fixed ones."},
+	}
+	nsgG, _ := BuildNSG(f)
+	ixNSG := core.New(nsgG, defaultOptions())
+	for i := 0; i < nDel; i++ {
+		ixNSG.Delete(uint32(i))
+	}
+	ixNSG.PurgeAndRepair(20, 120)
+	c = sweep(ixNSG.G)
+	q90, _ = summaryAt(c, 0.90, 0.01)
+	tn.AddRow("NSG + NGFix repair", q90, c.MaxRecall())
+
+	knnLive := graph.ApproxKNNGraph(rebuildBase(live, metric), 32, 100)
+	nsgFull := nsg.Build(live, knnLive, nsg.Config{R: 24, L: 60, C: 200, Metric: metric})
+	cF = metrics.Sweep(nsgFull, metrics.SweepConfig{K: K, EFs: StandardEFs(), Queries: d.TestOOD, Truth: gtLive})
+	q90, _ = summaryAt(cF, 0.90, 0.01)
+	tn.AddRow("NSG full rebuild", q90, cF.MaxRecall())
+
+	return []Table{t, tn}
+}
+
+// Fig20 regenerates Figure 20: the cold-start mitigation — limited real
+// history (p% of base size) plus synthetic Gaussian-augmented queries
+// (q% of base size), at the paper's best sigma = 0.3.
+func Fig20(s dataset.Scale) []Table {
+	cfg := dataset.WebVid(s)
+	f := GetFixture(cfg)
+	d := f.D
+	n := d.Base.Rows()
+
+	t := Table{
+		Title:   "Figure 20: query augmentation under limited history (WebVid analogue, sigma=0.3)",
+		Columns: []string{"config", "realHist", "synthetic", "QPS@r0.90", "maxRecall"},
+	}
+	run := func(label string, realN, synthPer int) {
+		if realN > d.History.Rows() {
+			realN = d.History.Rows()
+		}
+		real := d.History.Slice(0, realN)
+		queries := real
+		if synthPer > 0 {
+			synth := core.AugmentQueries(real, synthPer, 0.3, cfg.Normalize, 55)
+			merged := vec.NewMatrix(0, d.Base.Dim())
+			for i := 0; i < real.Rows(); i++ {
+				merged.Append(real.Row(i))
+			}
+			for i := 0; i < synth.Rows(); i++ {
+				merged.Append(synth.Row(i))
+			}
+			queries = merged
+		}
+		ix := core.New(f.Base(), defaultOptions())
+		truth := ix.ApproxTruth(queries, GTDepth, 150)
+		ix.Fix(queries, truth)
+		c := SweepGraph(ix.G, d.TestOOD, f.GTOOD)
+		q90, _ := summaryAt(c, 0.90, 0.01)
+		t.AddRow(label, realN, queries.Rows()-realN, q90, c.MaxRecall())
+	}
+	p1 := n / 100 // 1% of base size
+	run("NGFix*-1%-0%", p1, 0)
+	run("NGFix*-1%-4%", p1, 4)
+	run("NGFix*-5%-0%", 5*p1, 0)
+	run("NGFix*-5%-20%", 5*p1, 4)
+	hc := SweepGraph(f.Base(), d.TestOOD, f.GTOOD)
+	q90, _ := summaryAt(hc, 0.90, 0.01)
+	t.AddRow("HNSW (no fixing)", 0, 0, q90, hc.MaxRecall())
+	return []Table{t}
+}
+
+// Fig21 regenerates Figure 21: NGFix+ — fixing perturbed copies of each
+// historical query to extend the guarantee to an ε-ball — against plain
+// NGFix on the same (small) history sample, with the cost ratio.
+func Fig21(s dataset.Scale) []Table {
+	cfg := dataset.WebVid(s)
+	f := GetFixture(cfg)
+	nHist := f.D.History.Rows() / 10
+	if nHist < 10 {
+		nHist = 10
+	}
+
+	t := Table{
+		Title:   "Figure 21: NGFix+ (perturbed-query fixing) vs NGFix",
+		Columns: []string{"index", "QPS@r0.90", "maxRecall", "fixTime", "extraEdges"},
+		Notes:   []string{"The paper measures NGFix+ at ~19× NGFix's fixing cost for a further quality gain."},
+	}
+	// Plain NGFix on the sample.
+	ix1, _, tm1 := BuildNGFix(f, nHist, defaultOptions())
+	c1 := SweepGraph(ix1.G, f.D.TestOOD, f.GTOOD)
+	q90, _ := summaryAt(c1, 0.90, 0.01)
+	_, e1 := ix1.G.EdgeCount()
+	t.AddRow("NGFix", q90, c1.MaxRecall(), tm1.String(), e1)
+
+	// NGFix+ = NGFix plus perturbed enumeration.
+	ix2, _, tm2 := BuildNGFix(f, nHist, defaultOptions())
+	start := time.Now()
+	ix2.FixPlus(f.D.History.Slice(0, nHist), 4, 0.05, 120, 77)
+	tmPlus := tm2 + time.Since(start)
+	c2 := SweepGraph(ix2.G, f.D.TestOOD, f.GTOOD)
+	q90, _ = summaryAt(c2, 0.90, 0.01)
+	_, e2 := ix2.G.EdgeCount()
+	t.AddRow("NGFix+", q90, c2.MaxRecall(), tmPlus.String(), e2)
+	return []Table{t}
+}
+
+// mustFix builds the standard NGFix* index over a fixture.
+func mustFix(f *Fixture) (*core.Index, time.Duration) {
+	ix, _, tm := BuildNGFix(f, 0, defaultOptions())
+	return ix, tm
+}
+
+// rebuildBase builds a fresh HNSW bottom layer over the given vectors.
+func rebuildBase(m *vec.Matrix, metric vec.Metric) *graph.Graph {
+	return hnsw.Build(m, hnswConfig(metric)).Bottom()
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"ngfix/internal/dataset"
+)
+
+// Experiment is one reproducible exhibit from the paper.
+type Experiment struct {
+	// ID is the CLI name ("table1", "fig8", ...).
+	ID string
+	// Description says what the exhibit shows.
+	Description string
+	// Run regenerates the exhibit at the given dataset scale.
+	Run func(dataset.Scale) []Table
+}
+
+// Experiments lists every exhibit in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "dataset statistics + OOD diagnostics", Table1},
+		{"fig2", "recall distribution of HNSW on OOD queries", Fig2},
+		{"fig4", "G_k(q) connectivity vs accuracy; ID vs OOD", Fig4},
+		{"fig8", "QPS-recall / NDC-rderr on cross-modal datasets", Fig8},
+		{"fig9", "performance by query similarity to history", Fig9},
+		{"fig10", "ID queries on OOD-fixed indexes", Fig10},
+		{"fig11", "single-modal datasets incl. tau-MNG", Fig11},
+		{"fig12", "effect of historical query count; size vs QPS", Fig12},
+		{"fig13", "ablations: preprocessing, EH targeting, fixer choice", Fig13},
+		{"fig14", "edge-pruning strategies (EH vs random vs MRNG)", Fig14},
+		{"fig15", "NGFix vs NGFix* (RFix ablation)", Fig15},
+		{"fig16", "construction time and index size", Fig16},
+		{"fig17", "parameter sensitivity (K, LEx, delta, rounds)", Fig17},
+		{"fig18", "insertion + partial rebuild", Fig18},
+		{"fig19", "deletion: lazy vs NGFix repair vs rebuild", Fig19},
+		{"fig20", "query augmentation under limited history", Fig20},
+		{"fig21", "NGFix+ (perturbed-query fixing)", Fig21},
+		{"extra-eh", "Escape Hardness vs actual accuracy correlation [beyond the paper]", ExtraEHCorrelation},
+		{"extra-vamana", "RobustVamana (OOD-DiskANN) vs NGFix* [beyond the paper]", ExtraVamana},
+		{"extra-pq", "graph+PQ hybrid search on the fixed index [beyond the paper]", ExtraPQ},
+		{"extra-adaptive", "similarity-adaptive ef (§7 future work) [beyond the paper]", ExtraAdaptiveEF},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/graph"
+	"ngfix/internal/metrics"
+	"ngfix/internal/vec"
+)
+
+// StandardEFs is the ef sweep every QPS–recall experiment uses: start at
+// K, step 10, matching the paper's "initially set L to k, incremented by
+// 10 at each step" protocol.
+func StandardEFs() []int { return metrics.DefaultEFs(K, 10, 160) }
+
+// SweepGraph runs the standard sweep of a graph index on a query set.
+func SweepGraph(g *graph.Graph, queries *vec.Matrix, gt [][]bruteforce.Neighbor) metrics.Curve {
+	return metrics.Sweep(g, metrics.SweepConfig{K: K, EFs: StandardEFs(), Queries: queries, Truth: gt})
+}
+
+// curveRows appends one row per curve point to a table, labeled with the
+// index name.
+func curveRows(t *Table, name string, c metrics.Curve) {
+	for _, p := range c {
+		t.AddRow(name, p.EF, p.Recall, p.RDErr, p.QPS, p.NDC)
+	}
+}
+
+// curveTableColumns is the shared header for curve tables.
+var curveTableColumns = []string{"index", "ef", "recall@10", "rderr@10", "QPS", "NDC"}
+
+// summaryAt formats QPS-at-recall / NDC-at-rderr headline cells.
+func summaryAt(c metrics.Curve, recallTarget, rderrTarget float64) (qps, ndc string) {
+	if v, ok := c.QPSAtRecall(recallTarget); ok {
+		qps = trimFloat(v)
+	} else {
+		qps = "n/a"
+	}
+	if v, ok := c.NDCAtRDErr(rderrTarget); ok {
+		ndc = trimFloat(v)
+	} else {
+		ndc = "n/a"
+	}
+	return qps, ndc
+}

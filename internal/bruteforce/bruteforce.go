@@ -1,0 +1,85 @@
+// Package bruteforce computes exact k-nearest-neighbor ground truth by
+// linear scan, parallelized across queries. The paper's preprocessing step
+// (§5.1) needs the exact NN of every historical query; this package is
+// that "exact" path, while the approximate path reuses a graph index.
+package bruteforce
+
+import (
+	"runtime"
+	"sync"
+
+	"ngfix/internal/minheap"
+	"ngfix/internal/vec"
+)
+
+// Neighbor is one ground-truth hit.
+type Neighbor struct {
+	ID   uint32
+	Dist float32
+}
+
+// KNN returns the k nearest rows of base to q in ascending distance.
+// Deleted ids can be excluded by passing a non-nil skip predicate.
+func KNN(base *vec.Matrix, metric vec.Metric, q []float32, k int, skip func(uint32) bool) []Neighbor {
+	h := minheap.NewBounded(k)
+	n := base.Rows()
+	for i := 0; i < n; i++ {
+		if skip != nil && skip(uint32(i)) {
+			continue
+		}
+		d := metric.Distance(q, base.Row(i))
+		if h.WouldAccept(d) {
+			h.Push(minheap.Item{ID: uint32(i), Dist: d})
+		}
+	}
+	items := h.SortedAscending()
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = Neighbor{ID: it.ID, Dist: it.Dist}
+	}
+	return out
+}
+
+// AllKNN computes ground truth for every query row, in parallel.
+// The result is indexed by query row; each entry is ascending by distance.
+func AllKNN(base, queries *vec.Matrix, metric vec.Metric, k int) [][]Neighbor {
+	nq := queries.Rows()
+	out := make([][]Neighbor, nq)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nq {
+		workers = nq
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (nq + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > nq {
+			hi = nq
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = KNN(base, metric, queries.Row(i), k, nil)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// IDs extracts just the vertex ids from a neighbor list.
+func IDs(ns []Neighbor) []uint32 {
+	ids := make([]uint32, len(ns))
+	for i, n := range ns {
+		ids[i] = n.ID
+	}
+	return ids
+}

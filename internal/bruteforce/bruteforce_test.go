@@ -1,0 +1,101 @@
+package bruteforce
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ngfix/internal/vec"
+)
+
+func TestKNNLine(t *testing.T) {
+	m := vec.NewMatrix(10, 1)
+	for i := 0; i < 10; i++ {
+		m.Row(i)[0] = float32(i)
+	}
+	got := KNN(m, vec.L2, []float32{4.2}, 3, nil)
+	if len(got) != 3 || got[0].ID != 4 || got[1].ID != 5 || got[2].ID != 3 {
+		t.Fatalf("KNN = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("not ascending")
+		}
+	}
+}
+
+func TestKNNSkip(t *testing.T) {
+	m := vec.NewMatrix(5, 1)
+	for i := 0; i < 5; i++ {
+		m.Row(i)[0] = float32(i)
+	}
+	got := KNN(m, vec.L2, []float32{2}, 2, func(id uint32) bool { return id == 2 })
+	for _, n := range got {
+		if n.ID == 2 {
+			t.Fatal("skipped id returned")
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+}
+
+func TestKNNSmallerThanK(t *testing.T) {
+	m := vec.NewMatrix(2, 1)
+	m.Row(1)[0] = 1
+	got := KNN(m, vec.L2, []float32{0}, 5, nil)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+}
+
+func TestAllKNNMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := vec.NewMatrix(200, 6)
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 6; j++ {
+			base.Row(i)[j] = float32(rng.NormFloat64())
+		}
+	}
+	queries := vec.NewMatrix(17, 6)
+	for i := 0; i < 17; i++ {
+		for j := 0; j < 6; j++ {
+			queries.Row(i)[j] = float32(rng.NormFloat64())
+		}
+	}
+	all := AllKNN(base, queries, vec.L2, 5)
+	if len(all) != 17 {
+		t.Fatalf("AllKNN returned %d rows", len(all))
+	}
+	for qi := 0; qi < 17; qi++ {
+		// Independent check via full sort.
+		type pair struct {
+			id uint32
+			d  float32
+		}
+		var ps []pair
+		for i := 0; i < 200; i++ {
+			ps = append(ps, pair{uint32(i), vec.L2Squared(queries.Row(qi), base.Row(i))})
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].d < ps[j].d })
+		for x := 0; x < 5; x++ {
+			if all[qi][x].ID != ps[x].id {
+				t.Fatalf("query %d rank %d: %d vs %d", qi, x, all[qi][x].ID, ps[x].id)
+			}
+		}
+	}
+	ids := IDs(all[0])
+	if len(ids) != 5 || ids[0] != all[0][0].ID {
+		t.Fatal("IDs extraction broken")
+	}
+}
+
+func TestAllKNNInnerProduct(t *testing.T) {
+	base := vec.MatrixFromRows([][]float32{{1, 0}, {0, 1}, {2, 2}})
+	q := vec.MatrixFromRows([][]float32{{1, 1}})
+	got := AllKNN(base, q, vec.InnerProduct, 1)
+	// max inner product with (1,1) is row 2 (dot=4).
+	if got[0][0].ID != 2 {
+		t.Fatalf("MIPS top1 = %d, want 2", got[0][0].ID)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sort"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/graph"
+	"ngfix/internal/hnsw"
+	"ngfix/internal/metrics"
+	"ngfix/internal/vec"
+)
+
+// AdaptiveEF implements the §7 "Query Similarities" direction: the search
+// list size needed for a target recall varies strongly with how similar a
+// query is to the fixed (historical) workload — Figure 9's observation —
+// so instead of one global ef, pick ef per query from its distance to the
+// nearest historical query.
+//
+// The similarity probe must itself be fast, so the historical queries are
+// indexed with a small HNSW; one cheap 1-NN search per query yields the
+// distance that selects the ef bucket.
+type AdaptiveEF struct {
+	histIndex  *graph.Graph
+	histSearch *graph.Searcher
+	probeEF    int
+	// ascending distance thresholds; queries beyond the last use EFs' tail.
+	thresholds []float32
+	efs        []int
+}
+
+// AdaptiveConfig controls calibration.
+type AdaptiveConfig struct {
+	// Buckets is the number of similarity bands (default 3: the paper's
+	// high / moderate / low).
+	Buckets int
+	// TargetRecall is the per-bucket recall the calibration aims for
+	// (default 0.95).
+	TargetRecall float64
+	// CandidateEFs are the ef values calibration may assign, ascending
+	// (default 10..200 step 10 starting at K).
+	CandidateEFs []int
+	// K is the result size recall is measured at (default 10).
+	K int
+	// ProbeEF is the search list for the similarity probe (default 16).
+	ProbeEF int
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Buckets <= 0 {
+		c.Buckets = 3
+	}
+	if c.TargetRecall == 0 {
+		c.TargetRecall = 0.95
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if len(c.CandidateEFs) == 0 {
+		c.CandidateEFs = metrics.DefaultEFs(c.K, 10, 200)
+	}
+	if c.ProbeEF <= 0 {
+		c.ProbeEF = 16
+	}
+	return c
+}
+
+// CalibrateAdaptiveEF fits an AdaptiveEF policy for the index: it buckets
+// the calibration queries by distance to the nearest historical query
+// (equal-count bands), then assigns each bucket the smallest candidate ef
+// whose mean recall on that bucket reaches the target (the largest
+// candidate when none does).
+//
+// history is the workload the index was fixed with; calib/calibTruth are
+// held-out queries with ground truth (ApproxTruth is fine).
+func CalibrateAdaptiveEF(ix *Index, history, calib *vec.Matrix, calibTruth [][]bruteforce.Neighbor, cfg AdaptiveConfig) *AdaptiveEF {
+	c := cfg.withDefaults()
+	h := hnsw.Build(history.Clone(), hnsw.Config{M: 8, EFConstruction: 60, Metric: ix.G.Metric, Seed: 3})
+	a := &AdaptiveEF{histIndex: h.Bottom(), probeEF: c.ProbeEF}
+	a.histSearch = graph.NewSearcher(a.histIndex)
+
+	// Distance of each calibration query to its nearest historical query.
+	nq := calib.Rows()
+	type qd struct {
+		qi int
+		d  float32
+	}
+	ds := make([]qd, nq)
+	for qi := 0; qi < nq; qi++ {
+		ds[qi] = qd{qi, a.probe(calib.Row(qi))}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+
+	s := ix.Searcher()
+	for b := 0; b < c.Buckets; b++ {
+		lo := b * nq / c.Buckets
+		hi := (b + 1) * nq / c.Buckets
+		if lo >= hi {
+			continue
+		}
+		// Smallest ef reaching the target on this band.
+		chosen := c.CandidateEFs[len(c.CandidateEFs)-1]
+		for _, ef := range c.CandidateEFs {
+			var sum float64
+			for _, x := range ds[lo:hi] {
+				res, _ := s.SearchFrom(calib.Row(x.qi), c.K, ef, ix.G.EntryPoint)
+				sum += metrics.Recall(graph.IDs(res), bruteforce.IDs(calibTruth[x.qi])[:minI(c.K, len(calibTruth[x.qi]))])
+			}
+			if sum/float64(hi-lo) >= c.TargetRecall {
+				chosen = ef
+				break
+			}
+		}
+		a.efs = append(a.efs, chosen)
+		if b < c.Buckets-1 {
+			a.thresholds = append(a.thresholds, ds[hi-1].d)
+		}
+	}
+	return a
+}
+
+// probe returns the (approximate) distance from q to the nearest
+// historical query.
+func (a *AdaptiveEF) probe(q []float32) float32 {
+	res, _ := a.histSearch.SearchFrom(q, 1, a.probeEF, a.histIndex.EntryPoint)
+	if len(res) == 0 {
+		return 0
+	}
+	return res[0].Dist
+}
+
+// EFFor returns the calibrated ef for a query.
+func (a *AdaptiveEF) EFFor(q []float32) int {
+	d := a.probe(q)
+	for i, th := range a.thresholds {
+		if d <= th {
+			return a.efs[i]
+		}
+	}
+	return a.efs[len(a.efs)-1]
+}
+
+// Buckets exposes the calibrated policy (thresholds between bands, ef per
+// band) for inspection and reporting.
+func (a *AdaptiveEF) Buckets() (thresholds []float32, efs []int) {
+	return append([]float32(nil), a.thresholds...), append([]int(nil), a.efs...)
+}
+
+// SearchAdaptive runs one query with the calibrated per-query ef. The
+// returned stats include the probe's distance computations.
+func (ix *Index) SearchAdaptive(a *AdaptiveEF, q []float32, k int) ([]graph.Result, graph.Stats) {
+	ef := a.EFFor(q)
+	res, st := ix.Search(q, k, ef)
+	st.NDC += int64(a.probeEF) // amortized probe cost, approximately
+	return res, st
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

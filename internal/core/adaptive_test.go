@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/graph"
+	"ngfix/internal/metrics"
+	"ngfix/internal/vec"
+)
+
+func TestAdaptiveEFCalibration(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 20, RFix: true}}, LEx: 32})
+	ix.Fix(d.History, ExactTruth(d.Base, d.History, vec.L2, 40))
+
+	// Calibrate on half the OOD test set, evaluate on the other half.
+	calib := d.TestOOD.Slice(0, 40)
+	calibTruth := bruteforce.AllKNN(d.Base, calib, vec.L2, 10)
+	a := CalibrateAdaptiveEF(ix, d.History, calib, calibTruth, AdaptiveConfig{
+		Buckets: 3, TargetRecall: 0.95, K: 10,
+	})
+	ths, efs := a.Buckets()
+	if len(efs) != 3 || len(ths) != 2 {
+		t.Fatalf("policy shape: thresholds=%v efs=%v", ths, efs)
+	}
+	for i := 1; i < len(ths); i++ {
+		if ths[i] < ths[i-1] {
+			t.Fatal("thresholds not ascending")
+		}
+	}
+	for _, ef := range efs {
+		if ef < 10 || ef > 200 {
+			t.Fatalf("ef out of candidate range: %v", efs)
+		}
+	}
+
+	// Held-out evaluation: adaptive search should reach the target recall
+	// while a fixed ef equal to the *cheapest* bucket's ef may not.
+	eval := d.TestOOD.Slice(40, 80)
+	evalTruth := bruteforce.AllKNN(d.Base, eval, vec.L2, 10)
+	var sumAdaptive float64
+	var ndcAdaptive int64
+	for qi := 0; qi < eval.Rows(); qi++ {
+		res, st := ix.SearchAdaptive(a, eval.Row(qi), 10)
+		ndcAdaptive += st.NDC
+		sumAdaptive += metrics.Recall(graph.IDs(res), bruteforce.IDs(evalTruth[qi]))
+	}
+	recallAdaptive := sumAdaptive / float64(eval.Rows())
+	if recallAdaptive < 0.9 {
+		t.Fatalf("adaptive recall = %.3f, want >= 0.9", recallAdaptive)
+	}
+
+	// Compare against the max fixed ef (the conservative global policy):
+	// adaptive must not need more NDC than always-max.
+	maxEF := efs[0]
+	for _, ef := range efs {
+		if ef > maxEF {
+			maxEF = ef
+		}
+	}
+	var ndcMax int64
+	for qi := 0; qi < eval.Rows(); qi++ {
+		_, st := ix.Search(eval.Row(qi), 10, maxEF)
+		ndcMax += st.NDC
+	}
+	if efs[0] != efs[len(efs)-1] && ndcAdaptive >= ndcMax {
+		t.Fatalf("adaptive NDC %d not below always-max-ef NDC %d", ndcAdaptive, ndcMax)
+	}
+	t.Logf("adaptive: recall %.3f, NDC %d vs always-ef%d NDC %d (policy ths=%v efs=%v)",
+		recallAdaptive, ndcAdaptive, maxEF, ndcMax, ths, efs)
+}
+
+func TestAdaptiveEFForMonotone(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 15}}, LEx: 32})
+	ix.Fix(d.History, ExactTruth(d.Base, d.History, vec.L2, 30))
+	calib := d.TestOOD.Slice(0, 30)
+	calibTruth := bruteforce.AllKNN(d.Base, calib, vec.L2, 10)
+	a := CalibrateAdaptiveEF(ix, d.History, calib, calibTruth, AdaptiveConfig{Buckets: 2})
+	// EFFor must return one of the calibrated efs for any query.
+	_, efs := a.Buckets()
+	allowed := map[int]bool{}
+	for _, ef := range efs {
+		allowed[ef] = true
+	}
+	for qi := 0; qi < 10; qi++ {
+		if !allowed[a.EFFor(d.TestOOD.Row(qi))] {
+			t.Fatal("EFFor returned an uncalibrated ef")
+		}
+	}
+	// A historical query itself is maximally similar → first bucket.
+	if got := a.EFFor(d.History.Row(0)); got != efs[0] {
+		t.Fatalf("historical query got ef %d, want first bucket %d", got, efs[0])
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+)
+
+// Micro-benchmarks for the fixing primitives themselves (the exhibit
+// benchmarks live in the repository root). Useful for spotting
+// regressions in the EH closure and the NGFix edge loop.
+
+func BenchmarkComputeEHK20(b *testing.B)  { benchComputeEH(b, 20) }
+func BenchmarkComputeEHK50(b *testing.B)  { benchComputeEH(b, 50) }
+func BenchmarkComputeEHK100(b *testing.B) { benchComputeEH(b, 100) }
+
+func benchComputeEH(b *testing.B, k int) {
+	g, _, nn := randWorld(42, 2*k+20, 8, 0.05)
+	nn = nn[:2*k]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeEH(g, nn, k)
+	}
+}
+
+func BenchmarkNGFixQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, _, nn := randWorld(int64(i), 120, 8, 0.03)
+		b.StartTimer()
+		NGFix(g, nn[:60], NGFixParams{K: 30, KMax: 60, LEx: 48})
+	}
+}
+
+func BenchmarkRFixQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, q, nn := randWorld(int64(i), 300, 8, 0.02)
+		g.EntryPoint = g.Medoid()
+		b.StartTimer()
+		RFix(g, q, nn[:20], RFixParams{K: 20, L: 40, LEx: 48})
+	}
+}

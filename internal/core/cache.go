@@ -1,0 +1,72 @@
+package core
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"math"
+
+	"ngfix/internal/graph"
+)
+
+// AnswerCache is the §7 hash-table method for exactly-repeated queries:
+// queries are keyed by the MD5 of their raw float bits; hits return the
+// stored ground truth directly (≈9% of graph-search latency in the
+// paper's measurement), misses fall through to ANNS. It cannot generalize
+// to unseen queries and trades memory for latency — both caveats the
+// paper states.
+type AnswerCache struct {
+	entries map[[md5.Size]byte][]graph.Result
+	hits    int64
+	misses  int64
+}
+
+// NewAnswerCache returns an empty cache.
+func NewAnswerCache() *AnswerCache {
+	return &AnswerCache{entries: make(map[[md5.Size]byte][]graph.Result)}
+}
+
+func queryKey(q []float32) [md5.Size]byte {
+	buf := make([]byte, 4*len(q))
+	for i, v := range q {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return md5.Sum(buf)
+}
+
+// Put stores the answer for q.
+func (c *AnswerCache) Put(q []float32, answer []graph.Result) {
+	c.entries[queryKey(q)] = append([]graph.Result(nil), answer...)
+}
+
+// Get returns the cached answer for q, if any.
+func (c *AnswerCache) Get(q []float32) ([]graph.Result, bool) {
+	res, ok := c.entries[queryKey(q)]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return res, ok
+}
+
+// Len returns the number of cached queries.
+func (c *AnswerCache) Len() int { return len(c.entries) }
+
+// Stats returns hit/miss counters.
+func (c *AnswerCache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// SearchCached answers q from the cache when possible, otherwise searches
+// the index and (when store is true) caches the result for next time.
+func (ix *Index) SearchCached(c *AnswerCache, q []float32, k, ef int, store bool) ([]graph.Result, graph.Stats, bool) {
+	if res, ok := c.Get(q); ok {
+		if len(res) > k {
+			res = res[:k]
+		}
+		return res, graph.Stats{}, true
+	}
+	res, st := ix.Search(q, k, ef)
+	if store {
+		c.Put(q, res)
+	}
+	return res, st, false
+}

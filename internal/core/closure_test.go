@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ngfix/internal/graph"
+)
+
+// After NGFix finishes, its incrementally-maintained δ-reachable closure
+// must agree with a from-scratch recomputation: every pair it believes
+// δ-reachable must actually have EH ≤ δ on the final graph, and when it
+// reports FullyReachable there must be no defective pair left. (The
+// incremental update is Algorithm 3 lines 17-19; this is its oracle.)
+func TestNGFixClosureMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		n := 40 + rng.Intn(40)
+		g, _, nn := randWorld(int64(trial+100), n, 4, 0.02+rng.Float64()*0.06)
+		k := 8 + rng.Intn(10)
+		kmax := 2 * k
+		if kmax > n {
+			kmax = n
+		}
+		params := NGFixParams{K: k, KMax: kmax, LEx: 4 * k}
+		st := NGFix(g, nn[:kmax], params)
+		if !st.FullyReachable {
+			// Generous budget should always converge.
+			t.Fatalf("trial %d: did not converge (%+v)", trial, st)
+		}
+		p := params.withDefaults()
+		eh := ComputeEH(g, nn[:kmax], k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if i != j && eh.At(i, j) > p.Delta {
+					t.Fatalf("trial %d: closure said done but EH(%d,%d)=%d > %d",
+						trial, i, j, eh.At(i, j), p.Delta)
+				}
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// The number of extra edges NGFix adds for one query is bounded by the
+// Theorem 4 analogue: ≤ 2(k−1) directed edges even on pathological
+// (edgeless) neighborhoods, for any k.
+func TestNGFixTheorem4Bound(t *testing.T) {
+	for _, k := range []int{5, 10, 20, 40} {
+		g, _, nn := randWorld(int64(k), 2*k+10, 4, 0)
+		st := NGFix(g, nn[:2*k], NGFixParams{K: k, KMax: 2 * k, LEx: 4 * k})
+		if st.EdgesAdded > 2*(k-1) {
+			t.Fatalf("k=%d: added %d > 2(k-1)=%d edges", k, st.EdgesAdded, 2*(k-1))
+		}
+		if !st.FullyReachable {
+			t.Fatalf("k=%d: not fully reachable", k)
+		}
+	}
+}
+
+var _ = graph.InfEH // keep the import for documentation symmetry

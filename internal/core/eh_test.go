@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+// lineWorld builds points 0..n-1 at positions 0,1,...,n-1 on a line.
+func lineWorld(n int) *vec.Matrix {
+	m := vec.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		m.Row(i)[0] = float32(i)
+	}
+	return m
+}
+
+// TestComputeEHHandExample mirrors the paper's Figure 6(b)-style walkthrough.
+// Query at 0; NNs by rank are vertices 0,1,2,3 (positions 0..3).
+// Edges: 0→1, 1→2, 2→3, 3→0 (a directed cycle).
+func TestComputeEHHandExample(t *testing.T) {
+	m := lineWorld(4)
+	g := graph.New(m, vec.L2)
+	g.AddBaseEdge(0, 1)
+	g.AddBaseEdge(1, 2)
+	g.AddBaseEdge(2, 3)
+	g.AddBaseEdge(3, 0)
+	nn := []uint32{0, 1, 2, 3} // ranks for query at -0.1
+
+	eh := ComputeEH(g, nn, 4)
+	// 0→1 is a direct edge: reachable once ranks {0,1} present → EH = 2.
+	if eh.At(0, 1) != 2 {
+		t.Fatalf("EH(0,1) = %d, want 2", eh.At(0, 1))
+	}
+	// 0→2 needs vertex 1 as intermediate; all of ranks 0..2 present → 3.
+	if eh.At(0, 2) != 3 {
+		t.Fatalf("EH(0,2) = %d, want 3", eh.At(0, 2))
+	}
+	// 1→0 must go 1→2→3→0: needs rank 3 → EH = 4.
+	if eh.At(1, 0) != 4 {
+		t.Fatalf("EH(1,0) = %d, want 4", eh.At(1, 0))
+	}
+	// 3→0 direct: both present at rank 4 → EH = 4.
+	if eh.At(3, 0) != 4 {
+		t.Fatalf("EH(3,0) = %d, want 4", eh.At(3, 0))
+	}
+	// Diagonal zero.
+	for i := 0; i < 4; i++ {
+		if eh.At(i, i) != 0 {
+			t.Fatalf("EH(%d,%d) = %d, want 0", i, i, eh.At(i, i))
+		}
+	}
+}
+
+func TestComputeEHUnreachable(t *testing.T) {
+	m := lineWorld(4)
+	g := graph.New(m, vec.L2)
+	g.AddBaseEdge(0, 1) // 2 and 3 are isolated
+	eh := ComputeEH(g, []uint32{0, 1, 2, 3}, 4)
+	if eh.At(0, 1) != 2 {
+		t.Fatalf("EH(0,1) = %d", eh.At(0, 1))
+	}
+	for _, p := range [][2]int{{0, 2}, {2, 0}, {1, 3}, {3, 2}} {
+		if eh.At(p[0], p[1]) != InfEH {
+			t.Fatalf("EH(%d,%d) = %d, want Inf", p[0], p[1], eh.At(p[0], p[1]))
+		}
+	}
+	if eh.CountAbove(100) != 11 { // 12 off-diagonal pairs, only 0→1 finite
+		t.Fatalf("CountAbove = %d, want 11", eh.CountAbove(100))
+	}
+	if eh.MaxFinite() != 2 {
+		t.Fatalf("MaxFinite = %d, want 2", eh.MaxFinite())
+	}
+}
+
+// On a complete digraph over the NN set, every pair is connected the
+// moment both endpoints exist: EH(i,j) = max(i,j)+1.
+func TestComputeEHCompleteNeighborhood(t *testing.T) {
+	m := lineWorld(6)
+	g := graph.New(m, vec.L2)
+	for i := uint32(0); i < 6; i++ {
+		for j := uint32(0); j < 6; j++ {
+			if i != j {
+				g.AddBaseEdge(i, j)
+			}
+		}
+	}
+	nn := []uint32{0, 1, 2, 3, 4, 5}
+	eh := ComputeEH(g, nn, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i == j {
+				continue
+			}
+			want := uint16(maxInt(i, j) + 1)
+			if eh.At(i, j) != want {
+				t.Fatalf("EH(%d,%d) = %d, want %d", i, j, eh.At(i, j), want)
+			}
+		}
+	}
+}
+
+// EH considers paths *through* higher-ranked NNs: a pair connected only
+// via the k-th neighbor gets EH = k even if both endpoints are low-rank.
+func TestComputeEHDetourThroughHighRank(t *testing.T) {
+	m := lineWorld(5)
+	g := graph.New(m, vec.L2)
+	// 0 → 4 → 1: reaching rank-1 vertex from rank-0 needs rank-4 vertex.
+	g.AddBaseEdge(0, 4)
+	g.AddBaseEdge(4, 1)
+	nn := []uint32{0, 1, 2, 3, 4}
+	eh := ComputeEH(g, nn, 5)
+	if eh.At(0, 1) != 5 {
+		t.Fatalf("EH(0,1) = %d, want 5 (detour via rank 5)", eh.At(0, 1))
+	}
+	if eh.At(0, 4) != 5 || eh.At(4, 1) != 5 {
+		t.Fatalf("direct-edge EH = %d / %d, want 5", eh.At(0, 4), eh.At(4, 1))
+	}
+}
+
+// Property: adding edges never increases any EH entry (monotonicity).
+func TestComputeEHMonotoneUnderEdgeAddition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 12
+		m := vec.NewMatrix(n, 3)
+		for i := 0; i < n; i++ {
+			for j := 0; j < 3; j++ {
+				m.Row(i)[j] = float32(rng.NormFloat64())
+			}
+		}
+		g := graph.New(m, vec.L2)
+		for u := uint32(0); u < uint32(n); u++ {
+			for v := uint32(0); v < uint32(n); v++ {
+				if u != v && rng.Float64() < 0.15 {
+					g.AddBaseEdge(u, v)
+				}
+			}
+		}
+		nn := make([]uint32, n)
+		for i := range nn {
+			nn[i] = uint32(i)
+		}
+		before := ComputeEH(g, nn, 8)
+		// Add a few random extra edges.
+		for e := 0; e < 5; e++ {
+			u := uint32(rng.Intn(n))
+			v := uint32(rng.Intn(n))
+			if u != v {
+				g.AddExtraEdge(u, v, 1)
+			}
+		}
+		after := ComputeEH(g, nn, 8)
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				if after.At(i, j) > before.At(i, j) {
+					t.Fatalf("trial %d: EH(%d,%d) grew %d → %d after adding edges",
+						trial, i, j, before.At(i, j), after.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// Corollary 1: greedy search starting at p_i with L ≥ EH(i→j) visits p_j.
+func TestCorollaryOneSearchReach(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 40
+		m := vec.NewMatrix(n, 2)
+		for i := 0; i < n; i++ {
+			m.Row(i)[0] = float32(rng.NormFloat64())
+			m.Row(i)[1] = float32(rng.NormFloat64())
+		}
+		g := graph.New(m, vec.L2)
+		for u := uint32(0); u < uint32(n); u++ {
+			for v := uint32(0); v < uint32(n); v++ {
+				if u != v && rng.Float64() < 0.1 {
+					g.AddBaseEdge(u, v)
+				}
+			}
+		}
+		// Query at a random location; ranks by brute force.
+		q := []float32{float32(rng.NormFloat64()), float32(rng.NormFloat64())}
+		type pr struct {
+			id uint32
+			d  float32
+		}
+		ps := make([]pr, n)
+		for i := 0; i < n; i++ {
+			ps[i] = pr{uint32(i), vec.L2Squared(q, m.Row(i))}
+		}
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if ps[b].d < ps[a].d {
+					ps[a], ps[b] = ps[b], ps[a]
+				}
+			}
+		}
+		nn := make([]uint32, n)
+		for i, p := range ps {
+			nn[i] = p.id
+		}
+		k := 10
+		eh := ComputeEH(g, nn, k)
+		s := graph.NewSearcher(g)
+		s.CollectVisited = true
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				v := eh.At(i, j)
+				if i == j || v == InfEH {
+					continue
+				}
+				s.SearchFrom(q, 1, int(v), nn[i])
+				found := false
+				for _, vis := range s.Visited {
+					if vis.ID == nn[j] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: search from rank %d with L=%d did not visit rank %d (EH=%d)",
+						trial, i, v, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeEHDegenerate(t *testing.T) {
+	g := graph.New(lineWorld(3), vec.L2)
+	eh := ComputeEH(g, nil, 5)
+	if eh.K != 0 {
+		t.Fatal("empty NN list should give empty matrix")
+	}
+	eh = ComputeEH(g, []uint32{1}, 5)
+	if eh.K != 1 || eh.At(0, 0) != 0 {
+		t.Fatal("singleton matrix wrong")
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

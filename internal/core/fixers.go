@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+
+	"ngfix/internal/graph"
+)
+
+// The two "simple solutions" of §5.3, implemented for the Figure 13(c)
+// ablation. Both repair the same neighborhoods NGFix does, with the
+// limitations the paper describes: RNG reconstruction connects ~1.37× more
+// edges for the same quality, and random connection produces disordered
+// neighborhoods.
+
+// FixReconstructRNG rebuilds the Relative Neighborhood Graph over the
+// query's top-K NNs and overlays it onto g as extra edges (both
+// directions), within the extra-degree budget.
+func FixReconstructRNG(g *graph.Graph, nn []uint32, params NGFixParams) NGFixStats {
+	p := params.withDefaults()
+	k := p.K
+	if k > len(nn) {
+		k = len(nn)
+	}
+	var st NGFixStats
+	if k < 2 {
+		st.FullyReachable = true
+		return st
+	}
+	ids := nn[:k]
+	// Pairwise distances.
+	d := make([][]float32, k)
+	for i := range d {
+		d[i] = make([]float32, k)
+		ri := g.Vectors.Row(int(ids[i]))
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = g.Metric.Distance(ri, g.Vectors.Row(int(ids[j])))
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			// RNG rule: keep (i,j) unless some z is closer to both.
+			occluded := false
+			for z := 0; z < k && !occluded; z++ {
+				if z != i && z != j && d[z][i] < d[i][j] && d[z][j] < d[i][j] {
+					occluded = true
+				}
+			}
+			if !occluded {
+				addExtraWithBudget(g, ids[i], ids[j], uint16(k), p, &st)
+				addExtraWithBudget(g, ids[j], ids[i], uint16(k), p, &st)
+			}
+		}
+	}
+	st.FullyReachable = true // RNG over the set is connected by construction
+	return st
+}
+
+// FixRandom adds random edges between not-yet-δ-reachable pairs of the
+// query's top-K NNs until every pair is δ-reachable (or the budget blocks
+// further progress), updating the closure after each addition.
+func FixRandom(g *graph.Graph, nn []uint32, params NGFixParams, rng *rand.Rand) NGFixStats {
+	p := params.withDefaults()
+	if rng != nil {
+		p.Rng = rng
+	}
+	if len(nn) > p.KMax {
+		nn = nn[:p.KMax]
+	}
+	k := p.K
+	if k > len(nn) {
+		k = len(nn)
+	}
+	var st NGFixStats
+	if k < 2 {
+		st.FullyReachable = true
+		return st
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+
+	eh := ComputeEH(g, nn, k)
+	st.PairsAboveDelta = eh.CountAbove(p.Delta)
+	D := make([][]bool, k)
+	var missing [][2]int
+	for i := range D {
+		D[i] = make([]bool, k)
+		for j := range D[i] {
+			D[i][j] = i == j || eh.EH[i][j] <= p.Delta
+			if !D[i][j] {
+				missing = append(missing, [2]int{i, j})
+			}
+		}
+	}
+	remaining := len(missing)
+	propagate := func(i, j int) {
+		for x := 0; x < k; x++ {
+			if !D[x][i] {
+				continue
+			}
+			for y := 0; y < k; y++ {
+				if D[j][y] && !D[x][y] {
+					D[x][y] = true
+					remaining--
+				}
+			}
+		}
+	}
+	rng.Shuffle(len(missing), func(a, b int) { missing[a], missing[b] = missing[b], missing[a] })
+	for _, mp := range missing {
+		if remaining == 0 {
+			break
+		}
+		i, j := mp[0], mp[1]
+		if D[i][j] {
+			continue
+		}
+		if addExtraWithBudget(g, nn[i], nn[j], uint16(k), p, &st) {
+			propagate(i, j)
+		}
+	}
+	st.FullyReachable = remaining == 0
+	return st
+}

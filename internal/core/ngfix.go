@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"ngfix/internal/graph"
+)
+
+// PruneMode selects which extra edge is evicted when a vertex's extra
+// out-degree budget overflows. The paper's ablation (Figure 14) compares
+// the three.
+type PruneMode uint8
+
+const (
+	// PruneEH evicts the extra edge with the lowest Escape Hardness tag —
+	// the edge that was cheapest to live without (the paper's choice).
+	PruneEH PruneMode = iota
+	// PruneRandom evicts a uniformly random extra edge.
+	PruneRandom
+	// PruneMRNG evicts by the MRNG occlusion rule, which the paper shows
+	// is harmful here: it preferentially drops long edges, exactly the
+	// ones hard queries need.
+	PruneMRNG
+)
+
+// NGFixParams controls one NGFix application.
+type NGFixParams struct {
+	// K is the neighborhood size to repair (the paper's k; its two-round
+	// schedule uses 30–75 then 10).
+	K int
+	// KMax caps the Escape Hardness computation (default 2K).
+	KMax int
+	// Delta is the δ-reachability threshold: pairs with EH ≤ Delta are
+	// already fine. Default KMax.
+	Delta uint16
+	// LEx bounds the extra out-degree of any vertex.
+	LEx int
+	// Prune selects the overflow eviction rule.
+	Prune PruneMode
+	// Rng drives PruneRandom (may be nil otherwise).
+	Rng *rand.Rand
+}
+
+// withDefaults fills derived defaults.
+func (p NGFixParams) withDefaults() NGFixParams {
+	if p.K <= 0 {
+		p.K = 20
+	}
+	if p.KMax < p.K {
+		p.KMax = 2 * p.K
+	}
+	if p.Delta == 0 {
+		p.Delta = uint16(p.KMax)
+	}
+	if p.LEx <= 0 {
+		p.LEx = 2 * p.K
+	}
+	return p
+}
+
+// NGFixStats reports what one NGFix application did.
+type NGFixStats struct {
+	// EdgesAdded counts directed extra edges inserted.
+	EdgesAdded int
+	// EdgesPruned counts extra edges evicted for budget overflow.
+	EdgesPruned int
+	// PairsAboveDelta is the number of defective pairs before fixing.
+	PairsAboveDelta int
+	// FullyReachable reports whether every ordered pair of the query's
+	// top-K NNs ended δ-reachable.
+	FullyReachable bool
+}
+
+// NGFix runs Algorithm 3 for one query whose nearest neighbors are nn
+// (ascending rank, length ≥ params.KMax ideally; shorter lists are used as
+// given). It mutates g by adding extra edges among the query's top-K NNs
+// until every ordered pair is δ-reachable, processing candidate edges in
+// increasing length order (the minimum-spanning-tree idea: MST ⊂ RNG), and
+// respecting the per-vertex extra-degree budget with Prune-mode eviction.
+func NGFix(g *graph.Graph, nn []uint32, params NGFixParams) NGFixStats {
+	p := params.withDefaults()
+	if len(nn) > p.KMax {
+		nn = nn[:p.KMax]
+	}
+	k := p.K
+	if k > len(nn) {
+		k = len(nn)
+	}
+	var st NGFixStats
+	if k < 2 {
+		st.FullyReachable = true
+		return st
+	}
+
+	eh := ComputeEH(g, nn, k)
+	st.PairsAboveDelta = eh.CountAbove(p.Delta)
+
+	// δ-reachable matrix D over the top-k neighborhood.
+	D := make([][]bool, k)
+	remaining := 0
+	for i := range D {
+		D[i] = make([]bool, k)
+		for j := range D[i] {
+			D[i][j] = i == j || eh.EH[i][j] <= p.Delta
+			if !D[i][j] {
+				remaining++
+			}
+		}
+	}
+	if remaining == 0 {
+		st.FullyReachable = true
+		return st
+	}
+
+	// Candidate edges: unordered pairs by ascending distance.
+	type pair struct {
+		i, j int
+		d    float32
+	}
+	cands := make([]pair, 0, k*(k-1)/2)
+	for i := 0; i < k; i++ {
+		ri := g.Vectors.Row(int(nn[i]))
+		for j := i + 1; j < k; j++ {
+			cands = append(cands, pair{i, j, g.Metric.Distance(ri, g.Vectors.Row(int(nn[j])))})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
+
+	// propagate marks (i,j) reachable and closes over it:
+	// ∀ x,y: D[x][i] ∧ D[j][y] ⇒ D[x][y]  (Algorithm 3 lines 17-19).
+	propagate := func(i, j int) {
+		for x := 0; x < k; x++ {
+			if !D[x][i] {
+				continue
+			}
+			dj := D[j]
+			for y := 0; y < k; y++ {
+				if dj[y] && !D[x][y] {
+					D[x][y] = true
+					remaining--
+				}
+			}
+		}
+	}
+
+	for _, c := range cands {
+		if remaining == 0 {
+			break
+		}
+		needFwd := !D[c.i][c.j]
+		needBwd := !D[c.j][c.i]
+		if !needFwd && !needBwd {
+			continue
+		}
+		// Edge tag: the hardness this edge fixes (clamped finite max+1 for
+		// InfEH would lose the "unfixable without me" signal, so keep Inf
+		// edges just below RFix's reserved InfEH).
+		tag := func(i, j int) uint16 {
+			v := eh.EH[i][j]
+			if v == InfEH {
+				return InfEH - 1
+			}
+			return v
+		}
+		if needFwd && addExtraWithBudget(g, nn[c.i], nn[c.j], tag(c.i, c.j), p, &st) {
+			propagate(c.i, c.j)
+		}
+		if remaining == 0 {
+			break
+		}
+		if needBwd && !D[c.j][c.i] && addExtraWithBudget(g, nn[c.j], nn[c.i], tag(c.j, c.i), p, &st) {
+			propagate(c.j, c.i)
+		}
+	}
+	st.FullyReachable = remaining == 0
+	return st
+}
+
+// addExtraWithBudget inserts extra edge u→v (tag eh), evicting per the
+// prune mode when u's extra budget is full. It returns whether the edge is
+// now present.
+func addExtraWithBudget(g *graph.Graph, u, v uint32, eh uint16, p NGFixParams, st *NGFixStats) bool {
+	if u == v || g.HasEdge(u, v) {
+		return true // already connected: treat as present
+	}
+	if g.ExtraDegree(u) >= p.LEx {
+		victim, ok := pickVictim(g, u, eh, p)
+		if !ok {
+			return false
+		}
+		g.RemoveExtraEdge(u, victim)
+		st.EdgesPruned++
+	}
+	if g.AddExtraEdge(u, v, eh) {
+		st.EdgesAdded++
+		return true
+	}
+	return false
+}
+
+// pickVictim chooses which existing extra edge of u to evict to make room
+// for a new edge with hardness newEH. RFix edges (InfEH) are never
+// evicted. ok=false means the new edge loses and is not added.
+func pickVictim(g *graph.Graph, u uint32, newEH uint16, p NGFixParams) (victim uint32, ok bool) {
+	edges := g.ExtraNeighbors(u)
+	switch p.Prune {
+	case PruneRandom:
+		idxs := make([]int, 0, len(edges))
+		for i, e := range edges {
+			if e.EH != InfEH {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) == 0 {
+			return 0, false
+		}
+		r := p.Rng
+		if r == nil {
+			r = rand.New(rand.NewSource(int64(u)))
+		}
+		return edges[idxs[r.Intn(len(idxs))]].To, true
+	case PruneMRNG:
+		// Evict the longest edge unless it is protected — the "prune long
+		// edges" behavior the paper shows is harmful for hard queries.
+		uRow := g.Vectors.Row(int(u))
+		best := -1
+		var bestD float32
+		for i, e := range edges {
+			if e.EH == InfEH {
+				continue
+			}
+			d := g.Metric.Distance(uRow, g.Vectors.Row(int(e.To)))
+			if best == -1 || d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if best == -1 {
+			return 0, false
+		}
+		return edges[best].To, true
+	default: // PruneEH
+		best := -1
+		var bestEH uint16
+		for i, e := range edges {
+			if e.EH == InfEH {
+				continue
+			}
+			if best == -1 || e.EH < bestEH {
+				best, bestEH = i, e.EH
+			}
+		}
+		if best == -1 || bestEH >= newEH {
+			return 0, false // existing edges are all at least as valuable
+		}
+		return edges[best].To, true
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+// randWorld builds a random graph over n Gaussian points with edge
+// probability p, plus a query's NN ranking.
+func randWorld(seed int64, n, dim int, p float64) (*graph.Graph, []float32, []uint32) {
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < dim; j++ {
+			m.Row(i)[j] = float32(rng.NormFloat64())
+		}
+	}
+	g := graph.New(m, vec.L2)
+	for u := uint32(0); u < uint32(n); u++ {
+		for v := uint32(0); v < uint32(n); v++ {
+			if u != v && rng.Float64() < p {
+				g.AddBaseEdge(u, v)
+			}
+		}
+	}
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	// Rank all points by distance to q.
+	type pr struct {
+		id uint32
+		d  float32
+	}
+	ps := make([]pr, n)
+	for i := 0; i < n; i++ {
+		ps[i] = pr{uint32(i), vec.L2Squared(q, m.Row(i))}
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if ps[b].d < ps[a].d {
+				ps[a], ps[b] = ps[b], ps[a]
+			}
+		}
+	}
+	nn := make([]uint32, n)
+	for i, x := range ps {
+		nn[i] = x.id
+	}
+	return g, q, nn
+}
+
+// The Theorem-5 analogue: after NGFix with δ, every ordered pair of the
+// query's top-K NNs is δ-reachable (verified by recomputing EH from
+// scratch on the fixed graph).
+func TestNGFixMakesNeighborhoodDeltaReachable(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		g, _, nn := randWorld(seed, 60, 4, 0.03)
+		params := NGFixParams{K: 12, KMax: 24, LEx: 24}
+		st := NGFix(g, nn[:24], params)
+		if !st.FullyReachable {
+			t.Fatalf("seed %d: NGFix did not reach full δ-reachability (%+v)", seed, st)
+		}
+		p := params.withDefaults()
+		eh := ComputeEH(g, nn[:24], 12)
+		for i := 0; i < 12; i++ {
+			for j := 0; j < 12; j++ {
+				if i != j && eh.At(i, j) > p.Delta {
+					t.Fatalf("seed %d: pair (%d,%d) EH=%d > delta=%d after fix",
+						seed, i, j, eh.At(i, j), p.Delta)
+				}
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestNGFixRespectsBudget(t *testing.T) {
+	g, _, nn := randWorld(7, 80, 4, 0.0) // edgeless: worst case
+	params := NGFixParams{K: 20, KMax: 40, LEx: 3}
+	NGFix(g, nn[:40], params)
+	for u := 0; u < g.Len(); u++ {
+		if d := g.ExtraDegree(uint32(u)); d > 3 {
+			t.Fatalf("vertex %d extra degree %d > budget 3", u, d)
+		}
+	}
+}
+
+func TestNGFixNoopOnHealthyNeighborhood(t *testing.T) {
+	// Complete digraph over the NN set: nothing to fix.
+	g, _, nn := randWorld(8, 30, 3, 0)
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 15; j++ {
+			if i != j {
+				g.AddBaseEdge(nn[i], nn[j])
+			}
+		}
+	}
+	st := NGFix(g, nn[:20], NGFixParams{K: 10, KMax: 20, LEx: 10})
+	if st.EdgesAdded != 0 || !st.FullyReachable || st.PairsAboveDelta != 0 {
+		t.Fatalf("healthy neighborhood produced work: %+v", st)
+	}
+}
+
+func TestNGFixDegenerate(t *testing.T) {
+	g, _, nn := randWorld(9, 10, 2, 0.1)
+	st := NGFix(g, nn[:1], NGFixParams{K: 5})
+	if !st.FullyReachable || st.EdgesAdded != 0 {
+		t.Fatalf("k<2 should be a no-op, got %+v", st)
+	}
+	st = NGFix(g, nil, NGFixParams{K: 5})
+	if !st.FullyReachable {
+		t.Fatal("empty nn should be a no-op")
+	}
+}
+
+// Theorem 4 bound: at most K-1 undirected MST edges are *required*;
+// NGFix adds O(K) directed edges on an edgeless neighborhood, far fewer
+// than the K(K-1) complete graph.
+func TestNGFixEdgeCountBound(t *testing.T) {
+	g, _, nn := randWorld(10, 60, 4, 0)
+	k := 15
+	st := NGFix(g, nn[:30], NGFixParams{K: k, KMax: 30, LEx: 60})
+	if st.EdgesAdded == 0 {
+		t.Fatal("edgeless neighborhood must need edges")
+	}
+	if st.EdgesAdded > 2*(k-1) {
+		t.Fatalf("NGFix added %d directed edges; MST-style repair should need ≤ %d", st.EdgesAdded, 2*(k-1))
+	}
+	if !st.FullyReachable {
+		t.Fatal("should reach full connectivity with generous budget")
+	}
+}
+
+// NGFix's MST ordering should use no more edges than full RNG
+// reconstruction for the same neighborhood (the paper reports RNG at
+// ~1.37× NGFix's degree).
+func TestNGFixCheaperThanRNGReconstruction(t *testing.T) {
+	gA, _, nnA := randWorld(11, 80, 4, 0.02)
+	gB := gA.Clone()
+	stN := NGFix(gA, nnA[:30], NGFixParams{K: 15, KMax: 30, LEx: 60})
+	stR := FixReconstructRNG(gB, nnA[:30], NGFixParams{K: 15, KMax: 30, LEx: 60})
+	if stN.EdgesAdded > stR.EdgesAdded {
+		t.Fatalf("NGFix added %d edges, RNG reconstruction %d — NGFix should be sparser",
+			stN.EdgesAdded, stR.EdgesAdded)
+	}
+}
+
+func TestFixRandomReachesConnectivity(t *testing.T) {
+	g, _, nn := randWorld(12, 60, 4, 0.02)
+	rng := rand.New(rand.NewSource(3))
+	st := FixRandom(g, nn[:24], NGFixParams{K: 12, KMax: 24, LEx: 48}, rng)
+	if !st.FullyReachable {
+		t.Fatalf("random fixer should still connect with generous budget: %+v", st)
+	}
+	eh := ComputeEH(g, nn[:24], 12)
+	if eh.CountAbove(24) != 0 {
+		t.Fatalf("%d pairs above delta after random fix", eh.CountAbove(24))
+	}
+}
+
+func TestPruneModesEvictDifferently(t *testing.T) {
+	mk := func() *graph.Graph {
+		g, _, _ := randWorld(13, 30, 3, 0)
+		// Fill vertex 0's extra budget with tagged edges 1..3.
+		g.AddExtraEdge(0, 1, 5)
+		g.AddExtraEdge(0, 2, 9)
+		g.AddExtraEdge(0, 3, 7)
+		return g
+	}
+	// EH mode: evicts tag 5 when a harder edge arrives.
+	g := mk()
+	var st NGFixStats
+	ok := addExtraWithBudget(g, 0, 9, 8, NGFixParams{LEx: 3, Prune: PruneEH}.withDefaults(), &st)
+	if !ok || st.EdgesPruned != 1 {
+		t.Fatalf("EH eviction failed: ok=%v st=%+v", ok, st)
+	}
+	for _, e := range g.ExtraNeighbors(0) {
+		if e.EH == 5 {
+			t.Fatal("lowest-EH edge survived EH pruning")
+		}
+	}
+	// EH mode: refuses when the newcomer is weakest.
+	g = mk()
+	st = NGFixStats{}
+	ok = addExtraWithBudget(g, 0, 9, 2, NGFixParams{LEx: 3, Prune: PruneEH}.withDefaults(), &st)
+	if ok || st.EdgesAdded != 0 {
+		t.Fatalf("weak newcomer should be rejected: ok=%v st=%+v", ok, st)
+	}
+	// Random mode evicts something.
+	g = mk()
+	st = NGFixStats{}
+	p := NGFixParams{LEx: 3, Prune: PruneRandom, Rng: rand.New(rand.NewSource(1))}.withDefaults()
+	if !addExtraWithBudget(g, 0, 9, 2, p, &st) || st.EdgesPruned != 1 {
+		t.Fatalf("random eviction failed: %+v", st)
+	}
+	// InfEH edges are never victims.
+	g = mk()
+	g.SetExtraNeighbors(0, []graph.ExtraEdge{{To: 1, EH: InfEH}, {To: 2, EH: InfEH}, {To: 3, EH: InfEH}})
+	st = NGFixStats{}
+	if addExtraWithBudget(g, 0, 9, 100, NGFixParams{LEx: 3, Prune: PruneEH}.withDefaults(), &st) {
+		t.Fatal("protected edges were evicted")
+	}
+	st = NGFixStats{}
+	if addExtraWithBudget(g, 0, 9, 100, NGFixParams{LEx: 3, Prune: PruneRandom}.withDefaults(), &st) {
+		t.Fatal("protected edges were evicted by random mode")
+	}
+	st = NGFixStats{}
+	if addExtraWithBudget(g, 0, 9, 100, NGFixParams{LEx: 3, Prune: PruneMRNG}.withDefaults(), &st) {
+		t.Fatal("protected edges were evicted by MRNG mode")
+	}
+}
+
+func TestMRNGPruneEvictsLongest(t *testing.T) {
+	m := vec.NewMatrix(5, 1)
+	for i := 0; i < 5; i++ {
+		m.Row(i)[0] = float32(i * i) // 0,1,4,9,16
+	}
+	g := graph.New(m, vec.L2)
+	g.AddExtraEdge(0, 1, 3)
+	g.AddExtraEdge(0, 3, 3) // longest: dist 81
+	g.AddExtraEdge(0, 2, 3)
+	var st NGFixStats
+	ok := addExtraWithBudget(g, 0, 4, 3, NGFixParams{LEx: 3, Prune: PruneMRNG}.withDefaults(), &st)
+	if !ok {
+		t.Fatal("MRNG eviction failed")
+	}
+	for _, e := range g.ExtraNeighbors(0) {
+		if e.To == 3 {
+			t.Fatal("longest edge survived MRNG pruning")
+		}
+	}
+}

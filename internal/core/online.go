@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sync"
+
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+// OnlineFixer is the production shape of the paper's core idea: "leverage
+// online queries to dynamically fix defects of the graph". It wraps an
+// Index behind a read-write lock, records a sample of served queries, and
+// repairs the graph with them in batches — either on demand (FixPending)
+// or automatically whenever the buffer reaches its batch size.
+//
+// Searches take the read lock and run concurrently; a fix batch takes the
+// write lock, so reads see either the old or the repaired graph, never a
+// partial mutation. This is exactly the MainSearch deployment story from
+// §6.2: the index keeps adapting to the live workload without rebuilds.
+type OnlineFixer struct {
+	mu sync.RWMutex
+	ix *Index
+
+	pending   *vec.Matrix
+	batchSize int
+	sampleN   int // record 1 of every sampleN queries
+	counter   int
+	autoFix   bool
+	prepEF    int
+	truthK    int
+
+	totalFixed   int
+	totalBatches int
+
+	searchers sync.Pool
+}
+
+// OnlineConfig controls an OnlineFixer.
+type OnlineConfig struct {
+	// BatchSize is how many recorded queries trigger (or fill) one fix
+	// batch (default 64).
+	BatchSize int
+	// SampleEvery records every n-th query (default 1: all queries).
+	SampleEvery int
+	// AutoFix runs a fix batch synchronously inside the search call that
+	// fills the buffer. Off by default: callers usually prefer to invoke
+	// FixPending from a maintenance goroutine.
+	AutoFix bool
+	// PrepEF is the search-list size for approximate-truth preprocessing
+	// of recorded queries (default 200).
+	PrepEF int
+	// TruthK is how many neighbors preprocessing collects (default 64,
+	// enough for the default two-round schedule).
+	TruthK int
+}
+
+// NewOnlineFixer wraps ix. The wrapped index must not be used directly
+// while the fixer is live.
+func NewOnlineFixer(ix *Index, cfg OnlineConfig) *OnlineFixer {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+	if cfg.PrepEF <= 0 {
+		cfg.PrepEF = 200
+	}
+	if cfg.TruthK <= 0 {
+		cfg.TruthK = 64
+	}
+	o := &OnlineFixer{
+		ix:        ix,
+		pending:   vec.NewMatrix(0, ix.G.Dim()),
+		batchSize: cfg.BatchSize,
+		sampleN:   cfg.SampleEvery,
+		autoFix:   cfg.AutoFix,
+		prepEF:    cfg.PrepEF,
+		truthK:    cfg.TruthK,
+	}
+	o.searchers.New = func() interface{} { return graph.NewSearcher(ix.G) }
+	return o
+}
+
+// Search serves one query (top-k, search list ef) and records it for a
+// future fix batch. Safe for concurrent use.
+func (o *OnlineFixer) Search(q []float32, k, ef int) ([]graph.Result, graph.Stats) {
+	o.mu.RLock()
+	s := o.searchers.Get().(*graph.Searcher)
+	res, st := s.SearchFrom(q, k, ef, o.ix.G.EntryPoint)
+	o.searchers.Put(s)
+	o.mu.RUnlock()
+
+	o.mu.Lock()
+	o.counter++
+	if o.counter%o.sampleN == 0 && o.pending.Rows() < o.batchSize {
+		o.pending.Append(q)
+	}
+	runNow := o.autoFix && o.pending.Rows() >= o.batchSize
+	o.mu.Unlock()
+	if runNow {
+		o.FixPending()
+	}
+	return res, st
+}
+
+// Pending returns how many recorded queries await fixing.
+func (o *OnlineFixer) Pending() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.pending.Rows()
+}
+
+// Stats returns totals: queries fixed with and batches run.
+func (o *OnlineFixer) Stats() (fixedQueries, batches int) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.totalFixed, o.totalBatches
+}
+
+// FixPending drains the recorded queries and repairs the graph with them.
+// Preprocessing (approximate truth) runs under the read lock so searches
+// continue; the graph mutation itself takes the write lock. It returns
+// the fix report (zero-value when there was nothing to do).
+func (o *OnlineFixer) FixPending() FixReport {
+	o.mu.Lock()
+	batch := o.pending
+	if batch.Rows() == 0 {
+		o.mu.Unlock()
+		return FixReport{}
+	}
+	o.pending = vec.NewMatrix(0, o.ix.G.Dim())
+	o.mu.Unlock()
+
+	// Approximate truth under the read lock (concurrent with searches).
+	o.mu.RLock()
+	truth := o.ix.ApproxTruth(batch, o.truthK, o.prepEF)
+	o.mu.RUnlock()
+
+	o.mu.Lock()
+	rep := o.ix.Fix(batch, truth)
+	o.totalFixed += batch.Rows()
+	o.totalBatches++
+	// Graph structure changed: drop pooled searchers bound to stale sizes.
+	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
+	o.mu.Unlock()
+	return rep
+}
+
+// Insert adds a base vector (write lock).
+func (o *OnlineFixer) Insert(v []float32) uint32 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	id := o.ix.Insert(v)
+	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
+	return id
+}
+
+// Delete tombstones a vector (write lock).
+func (o *OnlineFixer) Delete(id uint32) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ix.Delete(id)
+}
+
+// PurgeAndRepair unlinks tombstones and repairs holes (write lock).
+func (o *OnlineFixer) PurgeAndRepair(k, efTruth int) PurgeReport {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	rep := o.ix.PurgeAndRepair(k, efTruth)
+	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
+	return rep
+}
+
+// Index exposes the wrapped index for read-only inspection. Callers must
+// not mutate it while the fixer is live.
+func (o *OnlineFixer) Index() *Index { return o.ix }

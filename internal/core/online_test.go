@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/graph"
+	"ngfix/internal/metrics"
+	"ngfix/internal/vec"
+)
+
+func TestOnlineFixerBatching(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 20}}, LEx: 32})
+	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 10, SampleEvery: 2})
+
+	for qi := 0; qi < 10; qi++ {
+		res, st := o.Search(d.History.Row(qi), 10, 20)
+		if len(res) == 0 || st.NDC == 0 {
+			t.Fatal("online search returned nothing")
+		}
+	}
+	// SampleEvery=2 → 5 recorded.
+	if got := o.Pending(); got != 5 {
+		t.Fatalf("Pending = %d, want 5", got)
+	}
+	rep := o.FixPending()
+	if rep.Queries != 5 {
+		t.Fatalf("fixed %d queries, want 5", rep.Queries)
+	}
+	if o.Pending() != 0 {
+		t.Fatal("pending not drained")
+	}
+	fixed, batches := o.Stats()
+	if fixed != 5 || batches != 1 {
+		t.Fatalf("Stats = %d,%d", fixed, batches)
+	}
+	// Empty drain is a no-op.
+	if rep := o.FixPending(); rep.Queries != 0 {
+		t.Fatal("empty FixPending did work")
+	}
+}
+
+func TestOnlineFixerAutoFix(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 15}}, LEx: 32})
+	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 8, AutoFix: true})
+	for qi := 0; qi < 8; qi++ {
+		o.Search(d.History.Row(qi), 10, 20)
+	}
+	fixed, batches := o.Stats()
+	if fixed != 8 || batches != 1 {
+		t.Fatalf("auto fix did not trigger: fixed=%d batches=%d", fixed, batches)
+	}
+}
+
+// The online loop must actually improve the live workload: serve OOD
+// queries, fix with them, and verify recall on *fresh* queries from the
+// same distribution improved.
+func TestOnlineFixerImprovesLiveWorkload(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 20, RFix: true}, {K: 10}}, LEx: 32})
+	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 400, PrepEF: 150})
+
+	fresh := d.TestOOD
+	gt := bruteforce.AllKNN(d.Base, fresh, vec.L2, 10)
+	recallNow := func() float64 {
+		var sum float64
+		for qi := 0; qi < fresh.Rows(); qi++ {
+			res, _ := o.Search(fresh.Row(qi), 10, 15)
+			sum += metrics.Recall(graph.IDs(res), bruteforce.IDs(gt[qi]))
+		}
+		return sum / float64(fresh.Rows())
+	}
+	before := recallNow()
+	// Reset the buffer (the measurement itself recorded queries — drain
+	// them away so the fix uses only the history stream).
+	o.FixPending()
+	for qi := 0; qi < d.History.Rows(); qi++ {
+		o.Search(d.History.Row(qi), 10, 15)
+	}
+	o.FixPending()
+	after := recallNow()
+	if after <= before {
+		t.Fatalf("online fixing did not improve live recall: %.3f -> %.3f", before, after)
+	}
+	t.Logf("live OOD recall@10 (ef=15): %.3f -> %.3f", before, after)
+}
+
+// Concurrent searches racing with fix batches and maintenance must be
+// race-free (run with -race) and always return valid results.
+func TestOnlineFixerConcurrency(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 15}}, LEx: 32})
+	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 25})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := d.TestOOD.Row((i*7 + w) % d.TestOOD.Rows())
+				res, _ := o.Search(q, 5, 15)
+				if len(res) == 0 {
+					errs <- "empty result during concurrent fixing"
+					return
+				}
+			}
+		}(w)
+	}
+	// Interleave fixes, an insert, and a delete+purge.
+	for round := 0; round < 3; round++ {
+		for qi := 0; qi < 30; qi++ {
+			o.Search(d.History.Row((round*30+qi)%d.History.Rows()), 5, 15)
+		}
+		o.FixPending()
+	}
+	o.Insert(d.History.Row(0))
+	o.Delete(3)
+	o.PurgeAndRepair(10, 60)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+	if err := o.Index().G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

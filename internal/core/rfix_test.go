@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+// twoIslands builds two well-separated clusters with edges only inside
+// each cluster, entry in cluster A. Searches for queries near cluster B
+// stall inside A — the exact failure RFix exists to repair.
+func twoIslands() (*graph.Graph, []float32, []uint32) {
+	rows := [][]float32{}
+	// Cluster A around (0,0): ids 0..9.
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []float32{float32(i) * 0.1, 0})
+	}
+	// Cluster B around (100,0): ids 10..19.
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []float32{100 + float32(i)*0.1, 0})
+	}
+	m := vec.MatrixFromRows(rows)
+	g := graph.New(m, vec.L2)
+	connect := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := lo; j < hi; j++ {
+				if i != j {
+					g.AddBaseEdge(uint32(i), uint32(j))
+				}
+			}
+		}
+	}
+	connect(0, 10)
+	connect(10, 20)
+	g.EntryPoint = 0
+	q := []float32{100.5, 0}
+	// True NNs of q are all of cluster B, nearest first.
+	nn := []uint32{15, 14, 16, 13, 17, 12, 18, 11, 19, 10}
+	return g, q, nn
+}
+
+func TestRFixRepairsIsland(t *testing.T) {
+	g, q, nn := twoIslands()
+	// Confirm the failure: search from entry never leaves cluster A.
+	s := graph.NewSearcher(g)
+	res, _ := s.SearchFrom(q, 5, 20, g.EntryPoint)
+	for _, r := range res {
+		if r.ID >= 10 {
+			t.Fatal("test setup broken: cluster B reachable before RFix")
+		}
+	}
+	st := RFix(g, q, nn, RFixParams{K: 5, L: 10, ExpandL: 30, LEx: 16})
+	if !st.Triggered {
+		t.Fatal("RFix should have triggered")
+	}
+	if !st.Reached {
+		t.Fatalf("RFix failed to make vicinity reachable: %+v", st)
+	}
+	if st.EdgesAdded == 0 {
+		t.Fatal("no edges added")
+	}
+	// All RFix edges carry the protected tag.
+	found := false
+	for u := 0; u < g.Len(); u++ {
+		for _, e := range g.ExtraNeighbors(uint32(u)) {
+			if e.EH != InfEH {
+				t.Fatalf("RFix edge %d→%d has EH %d, want InfEH", u, e.To, e.EH)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no extra edges recorded")
+	}
+	// Search now reaches the vicinity.
+	res, _ = s.SearchFrom(q, 5, 10, g.EntryPoint)
+	hit := false
+	for _, r := range res {
+		if r.ID >= 10 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("search still stuck in cluster A")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRFixNoopWhenReachable(t *testing.T) {
+	g, q, nn := twoIslands()
+	// Bridge the clusters so the search already succeeds.
+	g.AddBaseEdge(9, 10)
+	st := RFix(g, q, nn, RFixParams{K: 5, L: 20, LEx: 16})
+	if st.Triggered || st.EdgesAdded != 0 || !st.Reached {
+		t.Fatalf("RFix should be a no-op on reachable vicinity: %+v", st)
+	}
+}
+
+func TestRFixDegenerate(t *testing.T) {
+	g := graph.New(vec.NewMatrix(0, 2), vec.L2)
+	st := RFix(g, []float32{0, 0}, nil, RFixParams{})
+	if !st.Reached || st.Triggered {
+		t.Fatalf("empty graph RFix = %+v", st)
+	}
+}
+
+func TestRFixParamsDefaults(t *testing.T) {
+	p := RFixParams{}.withDefaults()
+	if p.K != 20 || p.L != 20 || p.ExpandL != 80 || p.MaxRounds != 3 || p.LEx != 40 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if p.MinAngle <= 1.0 || p.MinAngle >= 1.1 {
+		t.Fatalf("MinAngle = %v, want ~π/3", p.MinAngle)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+// Heavy deletion: purge 90% of the base and verify the survivors are
+// still a valid, searchable index.
+func TestPurgeNinetyPercent(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 15}}, LEx: 32})
+	ix.Fix(d.History.Slice(0, 100), ExactTruth(d.Base, d.History.Slice(0, 100), vec.L2, 30))
+
+	n := ix.G.Len()
+	for i := 0; i < n*9/10; i++ {
+		ix.Delete(uint32(i))
+	}
+	rep := ix.PurgeAndRepair(10, 80)
+	if rep.Purged != n*9/10 {
+		t.Fatalf("purged %d, want %d", rep.Purged, n*9/10)
+	}
+	if err := ix.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.G.IsDeleted(ix.G.EntryPoint) {
+		t.Fatal("entry point is a tombstone")
+	}
+	// Every live point should be findable from the entry.
+	s := graph.NewSearcher(ix.G)
+	miss := 0
+	for i := n * 9 / 10; i < n; i++ {
+		res, _ := s.SearchFrom(ix.G.Vectors.Row(i), 1, 40, ix.G.EntryPoint)
+		if len(res) == 0 || res[0].ID != uint32(i) {
+			miss++
+		}
+	}
+	if miss > n/100 {
+		t.Fatalf("%d/%d survivors unfindable after 90%% purge", miss, n/10)
+	}
+}
+
+// A degree budget of 1 must never be exceeded, and fixing must still
+// terminate (possibly without full reachability).
+func TestNGFixBudgetOne(t *testing.T) {
+	g, _, nn := randWorld(21, 60, 4, 0)
+	st := NGFix(g, nn[:30], NGFixParams{K: 15, KMax: 30, LEx: 1})
+	_ = st // full reachability not guaranteed at budget 1
+	for u := 0; u < g.Len(); u++ {
+		if g.ExtraDegree(uint32(u)) > 1 {
+			t.Fatalf("vertex %d exceeded budget 1", u)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Long interleaving of inserts, deletes, purges and fix batches keeps the
+// index valid and searchable at every step.
+func TestMaintenanceInterleaving(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 12}}, LEx: 24, InsertM: 8, InsertEF: 50})
+	rng := rand.New(rand.NewSource(99))
+	extra := d.MoreQueries(200, false, 123)
+	nextInsert := 0
+	for step := 0; step < 12; step++ {
+		switch step % 4 {
+		case 0: // insert a handful
+			for i := 0; i < 15 && nextInsert < extra.Rows(); i++ {
+				ix.Insert(extra.Row(nextInsert))
+				nextInsert++
+			}
+		case 1: // delete a few live points
+			for i := 0; i < 10; i++ {
+				id := uint32(rng.Intn(ix.G.Len()))
+				if !ix.G.IsDeleted(id) {
+					ix.Delete(id)
+				}
+			}
+		case 2: // fix with a history slice
+			lo := (step * 17) % (d.History.Rows() - 20)
+			sl := d.History.Slice(lo, lo+20)
+			ix.Fix(sl, ix.ApproxTruth(sl, 24, 60))
+		case 3: // purge
+			ix.PurgeAndRepair(10, 60)
+		}
+		if err := ix.G.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		res, _ := ix.Search(d.TestOOD.Row(step%d.TestOOD.Rows()), 5, 20)
+		if len(res) == 0 {
+			t.Fatalf("step %d: no results", step)
+		}
+		for _, r := range res {
+			if ix.G.IsDeleted(r.ID) {
+				t.Fatalf("step %d: deleted point returned", step)
+			}
+		}
+	}
+}
+
+// Fixing with nonsense ground truth (ids of far-away points) must not
+// corrupt the graph — it will add useless edges, but never invalid ones.
+func TestFixWithWrongTruthStaysValid(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 10}}, LEx: 16})
+	// Deliberately shuffled "truth".
+	rng := rand.New(rand.NewSource(5))
+	bad := make([][]bruteforce.Neighbor, 50)
+	for qi := range bad {
+		bad[qi] = make([]bruteforce.Neighbor, 20)
+		for j := range bad[qi] {
+			id := uint32(rng.Intn(ix.G.Len()))
+			bad[qi][j] = bruteforce.Neighbor{ID: id, Dist: float32(j)}
+		}
+	}
+	ix.Fix(d.History.Slice(0, 50), bad)
+	if err := ix.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Duplicate ids inside one truth list must not create self loops or
+// duplicate edges.
+func TestFixWithDuplicateTruthIDs(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 10}}, LEx: 16})
+	dup := [][]bruteforce.Neighbor{make([]bruteforce.Neighbor, 20)}
+	for j := range dup[0] {
+		dup[0][j] = bruteforce.Neighbor{ID: uint32(j % 5), Dist: float32(j)}
+	}
+	ix.Fix(d.History.Slice(0, 1), dup)
+	if err := ix.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package dataset generates the synthetic workloads this repository uses in
+// place of the paper's proprietary / multi-gigabyte corpora (Text-to-Image,
+// LAION, WebVid, MainSearch, SIFT, DEEP).
+//
+// The generator reproduces the *geometry* that drives the paper's results
+// rather than the raw scale: base vectors are drawn from a Gaussian mixture
+// (optionally normalized onto the unit sphere, as CLIP-style embeddings
+// are), and cross-modal queries are drawn from the same mixture pushed
+// through a simulated modality gap — a global offset direction plus wider,
+// anisotropic per-cluster noise. That is exactly the structure contrastive
+// multimodal training produces (the "modality gap" of Liang et al.), and it
+// is what makes query vectors Out-of-Distribution: far from the base set in
+// Mahalanobis distance, with ground-truth neighbors scattered across
+// clusters so RNG-style pruning removes exactly the long edges those
+// queries need. The package also provides the distribution diagnostics the
+// paper uses to define OOD-ness (Mahalanobis distance to the base
+// distribution, sliced Wasserstein distance between sets).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ngfix/internal/vec"
+)
+
+// Config describes one synthetic dataset recipe.
+type Config struct {
+	// Name labels the dataset in tables.
+	Name string
+	// N, NHist, NTest are the sizes of the base set, the historical query
+	// set (used by the fixing algorithms) and each test query set.
+	N, NHist, NTest int
+	// Dim is the vector dimensionality.
+	Dim int
+	// Clusters is the number of Gaussian mixture components.
+	Clusters int
+	// Metric is the index/search metric.
+	Metric vec.Metric
+	// GapMagnitude is the length of the modality-gap offset relative to the
+	// typical cluster radius. Zero produces a single-modal dataset whose
+	// "OOD" queries are simply held-out base-distribution samples.
+	GapMagnitude float64
+	// ClusterStd is the base within-cluster standard deviation.
+	ClusterStd float64
+	// QueryStdScale widens query noise relative to ClusterStd (cross-modal
+	// embeddings are noisier around their concept centers).
+	QueryStdScale float64
+	// Imbalance skews cluster sizes (0 = uniform; 1 = strongly Zipfian).
+	// Skewed clusters create the hard-query pockets MainSearch exhibits.
+	Imbalance float64
+	// Normalize projects all vectors onto the unit sphere after sampling
+	// (set for Cosine/InnerProduct recipes).
+	Normalize bool
+	// OutlierFrac is the fraction of OOD queries drawn from a *second*
+	// modality direction with OutlierGapScale times the gap magnitude —
+	// true outliers whose greedy searches can fail to reach the query
+	// vicinity at all (the §5.4 regime RFix repairs). MainSearch uses it:
+	// its queries mix text and image embeddings.
+	OutlierFrac float64
+	// OutlierGapScale scales the outlier gap (default 3 when
+	// OutlierFrac > 0).
+	OutlierGapScale float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Dataset is a fully materialized workload: base vectors, historical
+// queries (the paper's fixing input), and disjoint OOD and ID test sets.
+type Dataset struct {
+	Config  Config
+	Base    *vec.Matrix
+	History *vec.Matrix
+	TestOOD *vec.Matrix
+	TestID  *vec.Matrix
+
+	centers   *vec.Matrix
+	gap       []float32
+	gapOut    []float32 // outlier modality gap (nil without OutlierFrac)
+	clusterOf []int     // cluster assignment of each base row
+}
+
+// Generate materializes the workload described by cfg.
+func Generate(cfg Config) *Dataset {
+	if cfg.N <= 0 || cfg.Dim <= 0 || cfg.Clusters <= 0 {
+		panic(fmt.Sprintf("dataset: invalid config %+v", cfg))
+	}
+	if cfg.ClusterStd == 0 {
+		cfg.ClusterStd = 0.25
+	}
+	if cfg.QueryStdScale == 0 {
+		cfg.QueryStdScale = 1.6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	d := &Dataset{Config: cfg}
+
+	// Cluster centers: random directions scaled to unit-ish radius so the
+	// mixture occupies a shell; keeps geometry comparable across dims.
+	d.centers = vec.NewMatrix(cfg.Clusters, cfg.Dim)
+	for c := 0; c < cfg.Clusters; c++ {
+		row := d.centers.Row(c)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+		vec.Normalize(row)
+	}
+
+	// Modality gap: one global direction, orthogonalized against nothing in
+	// particular — its constancy across clusters is what matters.
+	d.gap = make([]float32, cfg.Dim)
+	for j := range d.gap {
+		d.gap[j] = float32(rng.NormFloat64())
+	}
+	vec.Normalize(d.gap)
+	vec.Scale(d.gap, float32(cfg.GapMagnitude*cfg.ClusterStd*4))
+
+	if cfg.OutlierFrac > 0 {
+		if cfg.OutlierGapScale == 0 {
+			cfg.OutlierGapScale = 3
+			d.Config.OutlierGapScale = 3
+		}
+		d.gapOut = make([]float32, cfg.Dim)
+		for j := range d.gapOut {
+			d.gapOut[j] = float32(rng.NormFloat64())
+		}
+		vec.Normalize(d.gapOut)
+		vec.Scale(d.gapOut, float32(cfg.OutlierGapScale*cfg.GapMagnitude*cfg.ClusterStd*4))
+	}
+
+	weights := clusterWeights(cfg.Clusters, cfg.Imbalance)
+
+	// Base set.
+	d.Base = vec.NewMatrix(cfg.N, cfg.Dim)
+	d.clusterOf = make([]int, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		c := sampleCluster(rng, weights)
+		d.clusterOf[i] = c
+		sampleAround(rng, d.Base.Row(i), d.centers.Row(c), cfg.ClusterStd, nil)
+	}
+
+	// Query sets. OOD queries: gap-offset modality. ID queries: fresh
+	// base-distribution samples. History matches the OOD (test) modality —
+	// the paper's setting — but is disjoint from the test queries by
+	// construction (fresh randomness).
+	d.History = d.sampleQueries(rng, cfg.NHist, weights, true)
+	d.TestOOD = d.sampleQueries(rng, cfg.NTest, weights, true)
+	d.TestID = d.sampleQueries(rng, cfg.NTest, weights, false)
+
+	if cfg.Normalize {
+		d.Base.NormalizeRows()
+		d.History.NormalizeRows()
+		d.TestOOD.NormalizeRows()
+		d.TestID.NormalizeRows()
+	}
+	return d
+}
+
+// sampleQueries draws n queries; ood selects the gap-offset modality.
+func (d *Dataset) sampleQueries(rng *rand.Rand, n int, weights []float64, ood bool) *vec.Matrix {
+	cfg := d.Config
+	m := vec.NewMatrix(n, cfg.Dim)
+	for i := 0; i < n; i++ {
+		c := sampleCluster(rng, weights)
+		std := cfg.ClusterStd
+		var offset []float32
+		if ood {
+			std *= cfg.QueryStdScale
+			offset = d.gap
+			if d.gapOut != nil && rng.Float64() < cfg.OutlierFrac {
+				offset = d.gapOut
+			}
+		}
+		sampleAround(rng, m.Row(i), d.centers.Row(c), std, offset)
+	}
+	return m
+}
+
+// MoreQueries draws additional queries from the dataset's OOD (or ID)
+// query distribution using an independent seed — used by drift and
+// history-size experiments that need extra disjoint workload.
+func (d *Dataset) MoreQueries(n int, ood bool, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	weights := clusterWeights(d.Config.Clusters, d.Config.Imbalance)
+	m := d.sampleQueries(rng, n, weights, ood)
+	if d.Config.Normalize {
+		m.NormalizeRows()
+	}
+	return m
+}
+
+// ShiftedQueries simulates workload drift: queries drawn around a rotated
+// set of "new concept" centers (a fraction frac of centers re-randomized).
+func (d *Dataset) ShiftedQueries(n int, frac float64, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := d.Config
+	shifted := d.centers.Clone()
+	nShift := int(frac * float64(cfg.Clusters))
+	for c := 0; c < nShift; c++ {
+		row := shifted.Row(c)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+		vec.Normalize(row)
+	}
+	weights := clusterWeights(cfg.Clusters, cfg.Imbalance)
+	m := vec.NewMatrix(n, cfg.Dim)
+	for i := 0; i < n; i++ {
+		c := sampleCluster(rng, weights)
+		sampleAround(rng, m.Row(i), shifted.Row(c), cfg.ClusterStd*cfg.QueryStdScale, d.gap)
+	}
+	if cfg.Normalize {
+		m.NormalizeRows()
+	}
+	return m
+}
+
+// BaseCluster returns the mixture component base row i was drawn from.
+func (d *Dataset) BaseCluster(i int) int { return d.clusterOf[i] }
+
+func sampleAround(rng *rand.Rand, dst, center []float32, std float64, offset []float32) {
+	for j := range dst {
+		dst[j] = center[j] + float32(rng.NormFloat64()*std)
+	}
+	if offset != nil {
+		for j := range dst {
+			dst[j] += offset[j]
+		}
+	}
+}
+
+func clusterWeights(k int, imbalance float64) []float64 {
+	w := make([]float64, k)
+	var sum float64
+	for i := range w {
+		// Interpolate between uniform and 1/(i+1) Zipf.
+		w[i] = (1-imbalance)*1 + imbalance/float64(i+1)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+func sampleCluster(rng *rand.Rand, weights []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

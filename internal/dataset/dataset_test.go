@@ -1,0 +1,269 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"ngfix/internal/vec"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Name: "tiny", N: 300, NHist: 80, NTest: 40,
+		Dim: 8, Clusters: 4, Metric: vec.L2,
+		GapMagnitude: 2.0, ClusterStd: 0.2, QueryStdScale: 1.5,
+		Seed: 1,
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	d := Generate(tinyConfig())
+	if d.Base.Rows() != 300 || d.Base.Dim() != 8 {
+		t.Fatalf("base shape %dx%d", d.Base.Rows(), d.Base.Dim())
+	}
+	if d.History.Rows() != 80 || d.TestOOD.Rows() != 40 || d.TestID.Rows() != 40 {
+		t.Fatal("query set sizes wrong")
+	}
+	for i := 0; i < d.Base.Rows(); i++ {
+		c := d.BaseCluster(i)
+		if c < 0 || c >= 4 {
+			t.Fatalf("cluster assignment %d out of range", c)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(tinyConfig())
+	b := Generate(tinyConfig())
+	for i := 0; i < a.Base.Rows(); i++ {
+		for j := 0; j < a.Base.Dim(); j++ {
+			if a.Base.Row(i)[j] != b.Base.Row(i)[j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	cfg := tinyConfig()
+	cfg.Seed = 2
+	c := Generate(cfg)
+	same := true
+	for j := 0; j < a.Base.Dim(); j++ {
+		if a.Base.Row(0)[j] != c.Base.Row(0)[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical first row")
+	}
+}
+
+func TestNormalizeFlag(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Normalize = true
+	cfg.Metric = vec.Cosine
+	d := Generate(cfg)
+	for _, m := range []*vec.Matrix{d.Base, d.History, d.TestOOD, d.TestID} {
+		for i := 0; i < m.Rows(); i++ {
+			if n := vec.Norm(m.Row(i)); math.Abs(float64(n)-1) > 1e-5 {
+				t.Fatalf("row norm %v, want 1", n)
+			}
+		}
+	}
+}
+
+// The defining property of the generator: OOD queries are far from the
+// base distribution (high Mahalanobis), ID queries are not.
+func TestOODQueriesAreOOD(t *testing.T) {
+	d := Generate(tinyConfig())
+	diag := Diagnose(d)
+	if diag.MeanMahalanobisOOD < 1.5*diag.MeanMahalanobisID {
+		t.Fatalf("OOD Mahalanobis %.2f not clearly above ID %.2f",
+			diag.MeanMahalanobisOOD, diag.MeanMahalanobisID)
+	}
+	if diag.SlicedW1OOD < 3*diag.SlicedW1ID {
+		t.Fatalf("OOD sliced-W1 %.4f not clearly above ID %.4f",
+			diag.SlicedW1OOD, diag.SlicedW1ID)
+	}
+}
+
+// With zero gap the "OOD" set collapses onto the base distribution.
+func TestZeroGapSingleModal(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.GapMagnitude = 0
+	cfg.QueryStdScale = 1.0
+	d := Generate(cfg)
+	diag := Diagnose(d)
+	ratio := diag.MeanMahalanobisOOD / diag.MeanMahalanobisID
+	if ratio > 1.2 || ratio < 0.8 {
+		t.Fatalf("single-modal OOD/ID Mahalanobis ratio %.2f, want ~1", ratio)
+	}
+}
+
+func TestRecipesGenerate(t *testing.T) {
+	for _, cfg := range All(0.05) {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			d := Generate(cfg)
+			if d.Base.Rows() == 0 || d.History.Rows() == 0 {
+				t.Fatal("empty recipe output")
+			}
+			if !cfg.Metric.Valid() {
+				t.Fatal("invalid metric")
+			}
+			diag := Diagnose(d)
+			if cfg.GapMagnitude > 0 {
+				// OOD queries must sit farther from the base data than ID
+				// queries, and the query distribution must be shifted.
+				if diag.MeanNNDistOOD <= diag.MeanNNDistID {
+					t.Fatalf("%s: OOD NN dist %.4f not above ID %.4f",
+						cfg.Name, diag.MeanNNDistOOD, diag.MeanNNDistID)
+				}
+				if diag.SlicedW1OOD <= 1.5*diag.SlicedW1ID {
+					t.Fatalf("%s: OOD sliced-W1 %.4f not clearly above ID %.4f",
+						cfg.Name, diag.SlicedW1OOD, diag.SlicedW1ID)
+				}
+			}
+		})
+	}
+	if len(CrossModal(1)) != 4 || len(SingleModal(1)) != 2 || len(All(1)) != 6 {
+		t.Fatal("recipe list sizes wrong")
+	}
+}
+
+func TestScaleClamp(t *testing.T) {
+	if Scale(0).n(100) != 100 {
+		t.Fatal("Scale 0 should default to 1")
+	}
+	if Scale(0.0001).n(100) != 10 {
+		t.Fatal("Scale floor of 10 rows not applied")
+	}
+	if Scale(2).n(100) != 200 {
+		t.Fatal("Scale multiply broken")
+	}
+}
+
+func TestMoreQueriesAndShifted(t *testing.T) {
+	d := Generate(tinyConfig())
+	q1 := d.MoreQueries(25, true, 99)
+	q2 := d.MoreQueries(25, true, 99)
+	if q1.Rows() != 25 {
+		t.Fatal("MoreQueries size wrong")
+	}
+	if q1.Row(0)[0] != q2.Row(0)[0] {
+		t.Fatal("MoreQueries not deterministic for equal seed")
+	}
+	q3 := d.MoreQueries(25, true, 100)
+	if q1.Row(0)[0] == q3.Row(0)[0] {
+		t.Fatal("MoreQueries ignored seed")
+	}
+	sh := d.ShiftedQueries(30, 0.5, 7)
+	if sh.Rows() != 30 || sh.Dim() != 8 {
+		t.Fatal("ShiftedQueries shape wrong")
+	}
+	// Drifted queries should be at least as OOD as the regular OOD set.
+	g := FitDiagonal(d.Base)
+	if g.MeanMahalanobis(sh) < g.MeanMahalanobis(d.TestID) {
+		t.Fatal("shifted queries suspiciously in-distribution")
+	}
+}
+
+func TestFitDiagonalOnKnownData(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{0, 10}, {2, 10}, {4, 10}})
+	g := FitDiagonal(m)
+	if g.Mean[0] != 2 || g.Mean[1] != 10 {
+		t.Fatalf("Mean = %v", g.Mean)
+	}
+	// Var[0] = ((2)^2 + 0 + (2)^2)/3 = 8/3.
+	if math.Abs(g.Var[0]-8.0/3.0) > 1e-9 {
+		t.Fatalf("Var[0] = %v", g.Var[0])
+	}
+	// Mahalanobis of mean point is 0... except dimension variance floor.
+	if d := g.Mahalanobis([]float32{2, 10}); d > 1e-3 {
+		t.Fatalf("Mahalanobis at mean = %v", d)
+	}
+}
+
+func TestWasserstein1DKnown(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{1, 1, 1, 1}
+	if w := wasserstein1D(a, b); math.Abs(w-1) > 1e-9 {
+		t.Fatalf("W1 of unit shift = %v, want 1", w)
+	}
+	if w := wasserstein1D(a, a); w != 0 {
+		t.Fatalf("W1 self = %v, want 0", w)
+	}
+}
+
+func TestSlicedWassersteinShiftScalesWithGap(t *testing.T) {
+	mkShift := func(delta float32) (*vec.Matrix, *vec.Matrix) {
+		a := vec.NewMatrix(200, 4)
+		b := vec.NewMatrix(200, 4)
+		for i := 0; i < 200; i++ {
+			for j := 0; j < 4; j++ {
+				a.Row(i)[j] = float32(i%7) * 0.1
+				b.Row(i)[j] = float32(i%7)*0.1 + delta
+			}
+		}
+		return a, b
+	}
+	a1, b1 := mkShift(0.5)
+	a2, b2 := mkShift(2.0)
+	w1 := SlicedWasserstein(a1, b1, 8, 3)
+	w2 := SlicedWasserstein(a2, b2, 8, 3)
+	if w2 <= w1 {
+		t.Fatalf("sliced W1 did not grow with shift: %v vs %v", w1, w2)
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	d := Generate(tinyConfig())
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, d.Base); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != d.Base.Rows() || got.Dim() != d.Base.Dim() {
+		t.Fatal("round-trip shape mismatch")
+	}
+	for i := 0; i < got.Rows(); i++ {
+		for j := 0; j < got.Dim(); j++ {
+			if got.Row(i)[j] != d.Base.Row(i)[j] {
+				t.Fatal("round-trip data mismatch")
+			}
+		}
+	}
+}
+
+func TestReadMatrixRejectsGarbage(t *testing.T) {
+	if _, err := ReadMatrix(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("short input accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0, 1, 0, 0, 0})
+	if _, err := ReadMatrix(&buf); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestSaveLoadMatrix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.ngfx")
+	m := vec.MatrixFromRows([][]float32{{1, 2}, {3, 4}})
+	if err := SaveMatrix(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Row(1)[1] != 4 {
+		t.Fatal("loaded data wrong")
+	}
+	if _, err := LoadMatrix(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file load should fail")
+	}
+}

@@ -1,0 +1,41 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"ngfix/internal/vec"
+)
+
+// FuzzReadMatrix checks the vector-file reader never panics on arbitrary
+// input and that truncations of valid files are rejected.
+func FuzzReadMatrix(f *testing.F) {
+	m := vec.MatrixFromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:7])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadMatrix(bytes.NewReader(data))
+		if err == nil && (got.Dim() <= 0 || got.Rows() < 0) {
+			t.Fatal("reader accepted an impossible shape")
+		}
+	})
+}
+
+func TestReadMatrixTruncation(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 2 {
+		if _, err := ReadMatrix(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(full))
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package dataset
+
+import "ngfix/internal/vec"
+
+// The recipes below are scaled-down analogues of the paper's Table 1
+// datasets. Row counts and dimensions are reduced so experiments run on a
+// single core in seconds; the metric, modality structure (gap / no gap),
+// and relative history sizes follow the paper.
+//
+// | Paper dataset    | |X|   d    metric        modality gap |
+// | Text-to-Image10M | 10M  200  InnerProduct  yes           |
+// | LAION10M         | 10M  512  Cosine        yes           |
+// | WebVid2.5M       | 2.5M 512  Cosine        yes           |
+// | MainSearch       | 11.2M 256 InnerProduct  yes, skewed   |
+// | SIFT10M          | 10M  128  Euclidean     no            |
+// | DEEP10M          | 10M  96   Cosine        no            |
+
+// Scale multiplies the default row counts of every recipe. The default of
+// 1 gives datasets sized for unit tests and single-core benchmarks.
+type Scale float64
+
+func (s Scale) n(base int) int {
+	if s <= 0 {
+		s = 1
+	}
+	v := int(float64(base) * float64(s))
+	if v < 10 {
+		v = 10
+	}
+	return v
+}
+
+// TextToImage is the Text-to-Image10M analogue: inner-product metric,
+// moderate gap (DSSM/SE-ResNeXt embeddings are less aligned than CLIP's).
+func TextToImage(s Scale) Config {
+	return Config{
+		Name: "TextToImage", N: s.n(8000), NHist: s.n(8000), NTest: s.n(400),
+		Dim: 32, Clusters: 24, Metric: vec.InnerProduct,
+		GapMagnitude: 1.6, ClusterStd: 0.22, QueryStdScale: 1.7,
+		Normalize: true, Seed: 101,
+	}
+}
+
+// LAION is the LAION10M analogue: cosine metric, CLIP-style strong gap.
+func LAION(s Scale) Config {
+	return Config{
+		Name: "LAION", N: s.n(8000), NHist: s.n(8000), NTest: s.n(400),
+		Dim: 48, Clusters: 32, Metric: vec.Cosine,
+		GapMagnitude: 2.0, ClusterStd: 0.2, QueryStdScale: 1.8,
+		Normalize: true, Seed: 102,
+	}
+}
+
+// WebVid is the WebVid2.5M analogue: cosine, video/text gap, smaller base.
+func WebVid(s Scale) Config {
+	return Config{
+		Name: "WebVid", N: s.n(5000), NHist: s.n(5000), NTest: s.n(400),
+		Dim: 48, Clusters: 24, Metric: vec.Cosine,
+		GapMagnitude: 1.8, ClusterStd: 0.22, QueryStdScale: 1.7,
+		Normalize: true, Seed: 103,
+	}
+}
+
+// MainSearch is the e-commerce analogue: inner product, strong cluster
+// imbalance (head/tail products), limited history relative to base size.
+func MainSearch(s Scale) Config {
+	return Config{
+		Name: "MainSearch", N: s.n(9000), NHist: s.n(900), NTest: s.n(500),
+		Dim: 32, Clusters: 40, Metric: vec.InnerProduct,
+		GapMagnitude: 1.7, ClusterStd: 0.25, QueryStdScale: 2.0,
+		Imbalance: 0.85, Normalize: true,
+		OutlierFrac: 0.25, OutlierGapScale: 3, Seed: 104,
+	}
+}
+
+// SIFT is the SIFT10M single-modal analogue: Euclidean, no modality gap.
+func SIFT(s Scale) Config {
+	return Config{
+		Name: "SIFT", N: s.n(8000), NHist: s.n(8000), NTest: s.n(400),
+		Dim: 32, Clusters: 24, Metric: vec.L2,
+		GapMagnitude: 0, ClusterStd: 0.3, QueryStdScale: 1.0,
+		Seed: 105,
+	}
+}
+
+// DEEP is the DEEP10M single-modal analogue: cosine, no modality gap.
+func DEEP(s Scale) Config {
+	return Config{
+		Name: "DEEP", N: s.n(8000), NHist: s.n(8000), NTest: s.n(400),
+		Dim: 24, Clusters: 24, Metric: vec.Cosine,
+		GapMagnitude: 0, ClusterStd: 0.3, QueryStdScale: 1.0,
+		Normalize: true, Seed: 106,
+	}
+}
+
+// CrossModal lists the four cross-modal recipes in the paper's order.
+func CrossModal(s Scale) []Config {
+	return []Config{TextToImage(s), LAION(s), WebVid(s), MainSearch(s)}
+}
+
+// SingleModal lists the two single-modal recipes.
+func SingleModal(s Scale) []Config {
+	return []Config{SIFT(s), DEEP(s)}
+}
+
+// All lists every recipe, cross-modal first (Table 1 order).
+func All(s Scale) []Config {
+	return append(CrossModal(s), SingleModal(s)...)
+}

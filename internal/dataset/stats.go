@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ngfix/internal/vec"
+)
+
+// DiagonalGaussian summarizes a vector set by per-dimension mean and
+// variance. The paper measures OOD-ness with the Mahalanobis distance of a
+// query to the base distribution; a diagonal covariance estimate keeps
+// that O(d) per query, which is all the diagnostics need.
+type DiagonalGaussian struct {
+	Mean []float64
+	Var  []float64
+}
+
+// FitDiagonal estimates a DiagonalGaussian from the rows of m.
+func FitDiagonal(m *vec.Matrix) *DiagonalGaussian {
+	n, dim := m.Rows(), m.Dim()
+	g := &DiagonalGaussian{Mean: make([]float64, dim), Var: make([]float64, dim)}
+	if n == 0 {
+		return g
+	}
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			g.Mean[j] += float64(v)
+		}
+	}
+	for j := range g.Mean {
+		g.Mean[j] /= float64(n)
+	}
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			d := float64(v) - g.Mean[j]
+			g.Var[j] += d * d
+		}
+	}
+	for j := range g.Var {
+		g.Var[j] /= float64(n)
+		if g.Var[j] < 1e-12 {
+			g.Var[j] = 1e-12
+		}
+	}
+	return g
+}
+
+// Mahalanobis returns the Mahalanobis distance of x to the distribution.
+func (g *DiagonalGaussian) Mahalanobis(x []float32) float64 {
+	var s float64
+	for j, v := range x {
+		d := float64(v) - g.Mean[j]
+		s += d * d / g.Var[j]
+	}
+	return math.Sqrt(s)
+}
+
+// MeanMahalanobis returns the mean Mahalanobis distance of the rows of m
+// to the distribution — the paper's aggregate OOD score for a query set.
+func (g *DiagonalGaussian) MeanMahalanobis(m *vec.Matrix) float64 {
+	n := m.Rows()
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += g.Mahalanobis(m.Row(i))
+	}
+	return s / float64(n)
+}
+
+// SlicedWasserstein estimates the Wasserstein-1 distance between the row
+// distributions of a and b by averaging the exact 1-D W1 distance over
+// nProj random projection directions. It is the standard cheap estimator
+// of the distributional gap the paper quantifies with Wasserstein distance.
+func SlicedWasserstein(a, b *vec.Matrix, nProj int, seed int64) float64 {
+	if a.Rows() == 0 || b.Rows() == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dim := a.Dim()
+	dir := make([]float32, dim)
+	pa := make([]float64, a.Rows())
+	pb := make([]float64, b.Rows())
+	var total float64
+	for p := 0; p < nProj; p++ {
+		for j := range dir {
+			dir[j] = float32(rng.NormFloat64())
+		}
+		vec.Normalize(dir)
+		for i := range pa {
+			pa[i] = float64(vec.Dot(a.Row(i), dir))
+		}
+		for i := range pb {
+			pb[i] = float64(vec.Dot(b.Row(i), dir))
+		}
+		total += wasserstein1D(pa, pb)
+	}
+	return total / float64(nProj)
+}
+
+// wasserstein1D computes the exact W1 distance between two empirical 1-D
+// distributions by integrating |F_a − F_b| over the sorted samples.
+func wasserstein1D(a, b []float64) float64 {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	// Quantile-function form: W1 = ∫ |Qa(u) − Qb(u)| du, approximated on a
+	// common grid of max(len) points.
+	n := len(as)
+	if len(bs) > n {
+		n = len(bs)
+	}
+	var w float64
+	for i := 0; i < n; i++ {
+		u := (float64(i) + 0.5) / float64(n)
+		w += math.Abs(quantile(as, u) - quantile(bs, u))
+	}
+	return w / float64(n)
+}
+
+func quantile(sorted []float64, u float64) float64 {
+	pos := u * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanNNDistance returns the mean distance (under metric) from each query
+// row to its nearest base row — the most direct reading of the paper's
+// "queries that are farther from the base data tend to have lower
+// accuracy". Unlike global Mahalanobis it stays informative for
+// sphere-normalized embeddings whose global mean is near zero.
+func MeanNNDistance(base, queries *vec.Matrix, metric vec.Metric) float64 {
+	nq := queries.Rows()
+	if nq == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < nq; i++ {
+		_, d := base.NearestRow(queries.Row(i), metric)
+		s += float64(d)
+	}
+	return s / float64(nq)
+}
+
+// Diagnostics summarizes how OOD a dataset's query sets are relative to
+// its base set.
+type Diagnostics struct {
+	MeanMahalanobisBase float64 // base rows to their own distribution
+	MeanMahalanobisOOD  float64
+	MeanMahalanobisID   float64
+	SlicedW1OOD         float64
+	SlicedW1ID          float64
+	MeanNNDistOOD       float64
+	MeanNNDistID        float64
+}
+
+// Diagnose computes the OOD diagnostics for d.
+func Diagnose(d *Dataset) Diagnostics {
+	g := FitDiagonal(d.Base)
+	return Diagnostics{
+		MeanMahalanobisBase: g.MeanMahalanobis(d.Base),
+		MeanMahalanobisOOD:  g.MeanMahalanobis(d.TestOOD),
+		MeanMahalanobisID:   g.MeanMahalanobis(d.TestID),
+		SlicedW1OOD:         SlicedWasserstein(d.Base, d.TestOOD, 16, d.Config.Seed+7),
+		SlicedW1ID:          SlicedWasserstein(d.Base, d.TestID, 16, d.Config.Seed+7),
+		MeanNNDistOOD:       MeanNNDistance(d.Base, d.TestOOD, d.Config.Metric),
+		MeanNNDistID:        MeanNNDistance(d.Base, d.TestID, d.Config.Metric),
+	}
+}

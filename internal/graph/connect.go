@@ -1,0 +1,74 @@
+package graph
+
+// ReachableSet returns a bitmap of vertices reachable from entry over base
+// edges only (extra edges excluded), plus the count.
+func ReachableSet(g *Graph, entry uint32) ([]bool, int) {
+	reach := make([]bool, g.Len())
+	stack := []uint32{entry}
+	reach[entry] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.BaseNeighbors(u) {
+			if !reach[v] {
+				reach[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return reach, count
+}
+
+// EnsureReachable grafts every vertex unreachable from entry (over base
+// edges) onto its nearest reachable vertex, the spanning-tree repair step
+// NSG introduced and RoarGraph reuses. searchL is the beam width used to
+// locate attachment points. It returns the number of edges added.
+func EnsureReachable(g *Graph, entry uint32, searchL int) int {
+	n := g.Len()
+	if n == 0 {
+		return 0
+	}
+	reach, _ := ReachableSet(g, entry)
+	var stack []uint32
+	expand := func(u uint32) {
+		stack = append(stack, u)
+		for len(stack) > 0 {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.BaseNeighbors(w) {
+				if !reach[v] {
+					reach[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	s := NewSearcher(g)
+	added := 0
+	for u := 0; u < n; u++ {
+		if reach[u] {
+			continue
+		}
+		res, _ := s.SearchFrom(g.Vectors.Row(u), searchL, searchL, entry)
+		attached := false
+		for _, r := range res {
+			if r.ID != uint32(u) && reach[r.ID] {
+				if g.AddBaseEdge(r.ID, uint32(u)) {
+					added++
+				}
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			if g.AddBaseEdge(entry, uint32(u)) {
+				added++
+			}
+		}
+		reach[u] = true
+		expand(uint32(u))
+	}
+	return added
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+
+	"ngfix/internal/minheap"
+	"ngfix/internal/vec"
+)
+
+// KNNGraph holds, for each row of a dataset, its k nearest other rows in
+// ascending distance order. It is the raw material for NSG/τ-MNG builds.
+type KNNGraph struct {
+	K         int
+	Neighbors [][]Candidate
+}
+
+// BruteKNNGraph computes the exact kNN graph of the dataset by brute force,
+// parallelized across rows. Suitable for the small-to-medium datasets this
+// repository's experiments use.
+func BruteKNNGraph(vectors *vec.Matrix, metric vec.Metric, k int) *KNNGraph {
+	n := vectors.Rows()
+	out := &KNNGraph{K: k, Neighbors: make([][]Candidate, n)}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			h := minheap.NewBounded(k)
+			for i := lo; i < hi; i++ {
+				h.Reset(k)
+				qi := vectors.Row(i)
+				for j := 0; j < n; j++ {
+					if j == i {
+						continue
+					}
+					d := metric.Distance(qi, vectors.Row(j))
+					if h.WouldAccept(d) {
+						h.Push(minheap.Item{ID: uint32(j), Dist: d})
+					}
+				}
+				items := h.SortedAscending()
+				nbrs := make([]Candidate, len(items))
+				for x, it := range items {
+					nbrs[x] = Candidate{ID: it.ID, Dist: it.Dist}
+				}
+				out.Neighbors[i] = nbrs
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// ApproxKNNGraph computes an approximate kNN graph by running a beam
+// search for every row over an existing graph index (typically an HNSW
+// base layer). This is the fast preprocessing path the paper uses to avoid
+// exact neighbor computation during construction.
+func ApproxKNNGraph(g *Graph, k, ef int) *KNNGraph {
+	n := g.Len()
+	out := &KNNGraph{K: k, Neighbors: make([][]Candidate, n)}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := NewSearcher(g)
+			for i := lo; i < hi; i++ {
+				res, _ := s.Search(g.Vectors.Row(i), k+1, ef)
+				nbrs := make([]Candidate, 0, k)
+				for _, r := range res {
+					if r.ID == uint32(i) {
+						continue
+					}
+					nbrs = append(nbrs, Candidate{ID: r.ID, Dist: r.Dist})
+					if len(nbrs) == k {
+						break
+					}
+				}
+				out.Neighbors[i] = nbrs
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

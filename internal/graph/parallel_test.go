@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"ngfix/internal/vec"
+)
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	g := buildRandomIndex(13, 400, 5)
+	rng := rand.New(rand.NewSource(14))
+	queries := vec.NewMatrix(37, 5)
+	for i := 0; i < 37; i++ {
+		for j := 0; j < 5; j++ {
+			queries.Row(i)[j] = float32(rng.NormFloat64())
+		}
+	}
+	seq := NewSearcher(g)
+	want := make([][]Result, 37)
+	var wantNDC int64
+	for i := 0; i < 37; i++ {
+		res, st := seq.SearchFrom(queries.Row(i), 5, 25, g.EntryPoint)
+		want[i] = res
+		wantNDC += st.NDC
+	}
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		got, st := SearchBatch(g, queries, 5, 25, workers)
+		if st.NDC != wantNDC {
+			t.Fatalf("workers=%d: NDC %d != %d", workers, st.NDC, wantNDC)
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("workers=%d query %d: length mismatch", workers, i)
+			}
+			for x := range want[i] {
+				if got[i][x].ID != want[i][x].ID {
+					t.Fatalf("workers=%d query %d: result mismatch", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchBatchEmpty(t *testing.T) {
+	g := buildRandomIndex(15, 20, 3)
+	out, st := SearchBatch(g, vec.NewMatrix(0, 3), 5, 10, 4)
+	if len(out) != 0 || st.NDC != 0 {
+		t.Fatal("empty batch should be a no-op")
+	}
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"ngfix/internal/minheap"
+	"ngfix/internal/vec"
+)
+
+// Result is one search hit.
+type Result struct {
+	ID   uint32
+	Dist float32
+}
+
+// Stats reports the cost of one search.
+type Stats struct {
+	// NDC is the number of distance calculations performed.
+	NDC int64
+	// Hops is the number of vertices whose neighbor lists were expanded.
+	Hops int
+}
+
+// Searcher holds reusable per-goroutine scratch for beam searches over one
+// graph. It is not safe for concurrent use; create one per worker.
+type Searcher struct {
+	g       *Graph
+	visited *minheap.Visited
+	cand    *minheap.Min
+	results *minheap.Bounded
+
+	// CollectVisited, when true, records every vertex whose distance was
+	// evaluated during the search, in evaluation order. RFix uses this to
+	// approximate the extended candidate neighbor set without a brute-force
+	// scan (§5.4).
+	CollectVisited bool
+	Visited        []Result
+}
+
+// NewSearcher returns a searcher bound to g.
+func NewSearcher(g *Graph) *Searcher {
+	return &Searcher{
+		g:       g,
+		visited: minheap.NewVisited(g.Len()),
+		cand:    minheap.NewMin(256),
+		results: minheap.NewBounded(16),
+	}
+}
+
+// Search runs Algorithm 1 from the graph's default entry point and returns
+// the k closest live vertices found with search-list size L (L is clamped
+// up to k).
+func (s *Searcher) Search(q []float32, k, L int) ([]Result, Stats) {
+	return s.SearchFrom(q, k, L, s.g.EntryPoint)
+}
+
+// SearchFrom is Search with an explicit entry vertex.
+//
+// This is the paper's Algorithm 1 (greedy / beam search): a candidate
+// min-heap seeded with the entry point, a bounded result set of size L;
+// each step expands the closest unexpanded candidate and stops when that
+// candidate is farther than the worst result.
+func (s *Searcher) SearchFrom(q []float32, k, L int, entry uint32) ([]Result, Stats) {
+	g := s.g
+	if g.Len() == 0 {
+		return nil, Stats{}
+	}
+	if L < k {
+		L = k
+	}
+	var st Stats
+	s.visited.Grow(g.Len())
+	s.visited.Reset()
+	s.cand.Reset()
+	s.results.Reset(L)
+	if s.CollectVisited {
+		s.Visited = s.Visited[:0]
+	}
+
+	// Tombstoned vertices follow the paper's lazy-delete semantics: they
+	// are navigated through (candidate heap) but never occupy a result
+	// slot, so heavy tombstoning cannot crowd live answers out of the
+	// search list.
+	dc := vec.DistanceCounter{Metric: g.Metric}
+	entryDist := dc.Distance(q, g.Vectors.Row(int(entry)))
+	s.visited.Visit(entry)
+	if s.CollectVisited {
+		s.Visited = append(s.Visited, Result{ID: entry, Dist: entryDist})
+	}
+	s.cand.Push(minheap.Item{ID: entry, Dist: entryDist})
+	if !g.deleted[entry] {
+		s.results.Push(minheap.Item{ID: entry, Dist: entryDist})
+	}
+
+	for s.cand.Len() > 0 {
+		cur := s.cand.Pop()
+		if worst, ok := s.results.MaxDist(); ok && s.results.Full() && cur.Dist > worst {
+			break
+		}
+		st.Hops++
+		expand := func(v uint32) {
+			if s.visited.Visit(v) {
+				return
+			}
+			d := dc.Distance(q, g.Vectors.Row(int(v)))
+			if s.CollectVisited {
+				s.Visited = append(s.Visited, Result{ID: v, Dist: d})
+			}
+			if s.results.WouldAccept(d) {
+				s.cand.Push(minheap.Item{ID: v, Dist: d})
+				if !g.deleted[v] {
+					s.results.Push(minheap.Item{ID: v, Dist: d})
+				}
+			}
+		}
+		for _, v := range g.base[cur.ID] {
+			expand(v)
+		}
+		for _, e := range g.extra[cur.ID] {
+			expand(e.To)
+		}
+	}
+	st.NDC = dc.Count
+
+	items := s.results.SortedAscending()
+	if len(items) > k {
+		items = items[:k]
+	}
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{ID: it.ID, Dist: it.Dist}
+	}
+	return out, st
+}
+
+// IDs extracts the vertex ids from results.
+func IDs(rs []Result) []uint32 {
+	ids := make([]uint32, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	return ids
+}

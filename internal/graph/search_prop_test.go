@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ngfix/internal/vec"
+)
+
+// buildRandomIndex constructs a random connected-ish graph for property
+// tests.
+func buildRandomIndex(seed int64, n, dim int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < dim; j++ {
+			m.Row(i)[j] = float32(rng.NormFloat64())
+		}
+	}
+	g := New(m, vec.L2)
+	// Ring for connectivity plus random chords.
+	for i := 0; i < n; i++ {
+		g.AddBaseEdge(uint32(i), uint32((i+1)%n))
+		g.AddBaseEdge(uint32((i+1)%n), uint32(i))
+		for t := 0; t < 4; t++ {
+			v := uint32(rng.Intn(n))
+			if v != uint32(i) {
+				g.AddBaseEdge(uint32(i), v)
+			}
+		}
+	}
+	return g
+}
+
+// Search results must be: ascending by distance, duplicate-free, live,
+// at most k, and with distances matching the metric exactly.
+func TestSearchResultInvariants(t *testing.T) {
+	g := buildRandomIndex(5, 300, 6)
+	g.MarkDeleted(10)
+	g.MarkDeleted(11)
+	s := NewSearcher(g)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		q := make([]float32, 6)
+		for j := range q {
+			q[j] = float32(rng.NormFloat64())
+		}
+		k := 1 + rng.Intn(20)
+		ef := k + rng.Intn(40)
+		res, st := s.SearchFrom(q, k, ef, uint32(rng.Intn(300)))
+		if len(res) > k {
+			t.Fatalf("returned %d > k=%d", len(res), k)
+		}
+		seen := map[uint32]bool{}
+		for i, r := range res {
+			if seen[r.ID] {
+				t.Fatal("duplicate result")
+			}
+			seen[r.ID] = true
+			if g.IsDeleted(r.ID) {
+				t.Fatal("deleted result")
+			}
+			if i > 0 && res[i-1].Dist > r.Dist {
+				t.Fatal("results not ascending")
+			}
+			if want := vec.L2Squared(q, g.Vectors.Row(int(r.ID))); want != r.Dist {
+				t.Fatalf("distance mismatch: %v vs %v", r.Dist, want)
+			}
+		}
+		if st.NDC <= 0 || st.Hops <= 0 {
+			t.Fatalf("stats missing: %+v", st)
+		}
+	}
+}
+
+// Larger ef never returns a worse top-1 (monotone quality).
+func TestSearchMonotoneInEF(t *testing.T) {
+	g := buildRandomIndex(7, 400, 5)
+	s := NewSearcher(g)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		q := make([]float32, 5)
+		for j := range q {
+			q[j] = float32(rng.NormFloat64())
+		}
+		var prev float32
+		for i, ef := range []int{5, 20, 80} {
+			res, _ := s.SearchFrom(q, 1, ef, g.EntryPoint)
+			if len(res) == 0 {
+				t.Fatal("no results")
+			}
+			if i > 0 && res[0].Dist > prev {
+				t.Fatalf("top-1 got worse as ef grew: %v -> %v", prev, res[0].Dist)
+			}
+			prev = res[0].Dist
+		}
+	}
+}
+
+// Concurrent searchers over one shared read-only graph must be race-free
+// and return identical results (run with -race to catch violations).
+func TestConcurrentSearchers(t *testing.T) {
+	g := buildRandomIndex(9, 500, 6)
+	rng := rand.New(rand.NewSource(10))
+	queries := make([][]float32, 20)
+	for i := range queries {
+		q := make([]float32, 6)
+		for j := range q {
+			q[j] = float32(rng.NormFloat64())
+		}
+		queries[i] = q
+	}
+	// Reference answers from a single searcher.
+	ref := NewSearcher(g)
+	want := make([][]Result, len(queries))
+	for i, q := range queries {
+		want[i], _ = ref.SearchFrom(q, 5, 30, g.EntryPoint)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewSearcher(g)
+			for rep := 0; rep < 5; rep++ {
+				for i, q := range queries {
+					got, _ := s.SearchFrom(q, 5, 30, g.EntryPoint)
+					if len(got) != len(want[i]) {
+						errs <- "result length diverged across goroutines"
+						return
+					}
+					for x := range got {
+						if got[x].ID != want[i][x].ID {
+							errs <- "result ids diverged across goroutines"
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// All-deleted graph returns nothing but terminates.
+func TestSearchAllDeleted(t *testing.T) {
+	g := buildRandomIndex(11, 50, 4)
+	for i := 0; i < 50; i++ {
+		g.MarkDeleted(uint32(i))
+	}
+	s := NewSearcher(g)
+	res, _ := s.SearchFrom(make([]float32, 4), 5, 10, 0)
+	if len(res) != 0 {
+		t.Fatalf("all-deleted graph returned %v", res)
+	}
+}
+
+// Tombstone-heavy neighborhoods must not crowd live points out of the
+// result list (the lazy-delete semantics RobustVamana depends on).
+func TestSearchTombstonesDontCrowd(t *testing.T) {
+	// Points 0..9 nearest the query are deleted; 10..19 are live.
+	m := vec.NewMatrix(20, 1)
+	for i := 0; i < 20; i++ {
+		m.Row(i)[0] = float32(i)
+	}
+	g := New(m, vec.L2)
+	for i := uint32(0); i < 19; i++ {
+		g.AddBaseEdge(i, i+1)
+		g.AddBaseEdge(i+1, i)
+	}
+	for i := uint32(0); i < 10; i++ {
+		g.MarkDeleted(i)
+	}
+	s := NewSearcher(g)
+	// ef=5 < number of tombstones between the entry and the live region.
+	res, _ := s.SearchFrom([]float32{0}, 5, 5, 0)
+	if len(res) != 5 {
+		t.Fatalf("got %d live results, want 5", len(res))
+	}
+	for i, r := range res {
+		if r.ID != uint32(10+i) {
+			t.Fatalf("result %d = %d, want %d", i, r.ID, 10+i)
+		}
+	}
+}

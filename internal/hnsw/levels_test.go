@@ -1,0 +1,52 @@
+package hnsw
+
+import (
+	"math"
+	"testing"
+
+	"ngfix/internal/vec"
+)
+
+// Level assignment must follow the geometric distribution with ratio
+// 1/M: roughly n/M nodes above level 0, n/M² above level 1, and so on.
+func TestLevelDistribution(t *testing.T) {
+	m := randomMatrix(11, 4000, 4)
+	idx := Build(m, Config{M: 8, EFConstruction: 16, Metric: vec.L2, Seed: 11})
+	counts := map[int]int{}
+	for u := range idx.links {
+		counts[len(idx.links[u])-1]++
+	}
+	n := float64(idx.Len())
+	// Expected fraction at level ≥ 1 is 1/M = 0.125.
+	atLeast1 := 0
+	for lvl, c := range counts {
+		if lvl >= 1 {
+			atLeast1 += c
+		}
+	}
+	frac := float64(atLeast1) / n
+	if math.Abs(frac-0.125) > 0.03 {
+		t.Fatalf("fraction at level>=1 = %.4f, want ~0.125", frac)
+	}
+	// The entry point must live at the max level.
+	if got := len(idx.links[idx.Entry()]) - 1; got != idx.MaxLevel() {
+		t.Fatalf("entry level %d != max level %d", got, idx.MaxLevel())
+	}
+}
+
+// Upper-level adjacency must only reference nodes that exist at that
+// level (a structural invariant insert relies on).
+func TestUpperLevelsWellFormed(t *testing.T) {
+	m := randomMatrix(12, 1500, 4)
+	idx := Build(m, Config{M: 6, EFConstruction: 30, Metric: vec.L2, Seed: 12})
+	for u := range idx.links {
+		for l := 1; l < len(idx.links[u]); l++ {
+			for _, v := range idx.links[u][l] {
+				if len(idx.links[v]) <= l {
+					t.Fatalf("node %d level %d links to %d which only has %d levels",
+						u, l, v, len(idx.links[v]))
+				}
+			}
+		}
+	}
+}

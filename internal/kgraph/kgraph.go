@@ -1,0 +1,253 @@
+// Package kgraph implements NN-descent (Dong et al., WWW 2011), the
+// approximate kNN-graph construction EFANNA popularized and the NSG paper
+// builds on (Fu & Cai 2016, cited by the reproduced paper). It provides
+// the third way this repository can obtain the kNN graph that NSG/τ-MNG
+// construction consumes — alongside brute force (exact, quadratic) and
+// searching an existing HNSW (needs a prior index).
+//
+// NN-descent's local-join principle: a neighbor of my neighbor is likely
+// my neighbor. Each round joins every point's neighborhood (current
+// neighbors ∪ reverse neighbors, split into "new" and "old" halves to
+// avoid re-comparing settled pairs) and keeps the k best per point,
+// converging in a handful of rounds at O(n·k²) distances per round.
+package kgraph
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+// Config holds NN-descent parameters.
+type Config struct {
+	// K is the neighbor-list size to build.
+	K int
+	// Rho samples this fraction of each neighborhood per join round
+	// (1.0 = full joins; 0.5 is the usual speed/quality setting).
+	Rho float64
+	// MaxRounds caps the iteration count.
+	MaxRounds int
+	// Delta stops early when fewer than Delta·n·K list updates happened
+	// in a round.
+	Delta float64
+	// Metric is the distance function.
+	Metric vec.Metric
+	// Seed drives the random initialization and sampling.
+	Seed int64
+}
+
+// DefaultConfig returns the standard NN-descent settings.
+func DefaultConfig(metric vec.Metric, k int) Config {
+	return Config{K: k, Rho: 0.5, MaxRounds: 12, Delta: 0.001, Metric: metric, Seed: 17}
+}
+
+// entry is one neighbor candidate with its "new" flag (unjoined yet).
+type entry struct {
+	id    uint32
+	dist  float32
+	isNew bool
+}
+
+// Build runs NN-descent and returns the kNN graph in the shared format.
+func Build(vectors *vec.Matrix, cfg Config) *graph.KNNGraph {
+	n := vectors.Rows()
+	out := &graph.KNNGraph{K: cfg.K, Neighbors: make([][]graph.Candidate, n)}
+	if n == 0 {
+		return out
+	}
+	k := cfg.K
+	if k > n-1 {
+		k = n - 1
+	}
+	if cfg.Rho <= 0 || cfg.Rho > 1 {
+		cfg.Rho = 0.5
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 12
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Random initialization: k distinct random neighbors per point.
+	lists := make([][]entry, n)
+	for i := 0; i < n; i++ {
+		seen := map[uint32]bool{uint32(i): true}
+		lst := make([]entry, 0, k)
+		for len(lst) < k {
+			v := uint32(rng.Intn(n))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			lst = append(lst, entry{id: v, dist: cfg.Metric.Distance(vectors.Row(i), vectors.Row(int(v))), isNew: true})
+		}
+		sortEntries(lst)
+		lists[i] = lst
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	for round := 0; round < cfg.MaxRounds; round++ {
+		// Sample forward new/old sets and build reverse sets.
+		newF := make([][]uint32, n)
+		oldF := make([][]uint32, n)
+		newR := make([][]uint32, n)
+		oldR := make([][]uint32, n)
+		sampleLimit := int(cfg.Rho * float64(k))
+		if sampleLimit < 1 {
+			sampleLimit = 1
+		}
+		for i := 0; i < n; i++ {
+			for li := range lists[i] {
+				e := &lists[i][li]
+				if e.isNew {
+					if len(newF[i]) < sampleLimit {
+						newF[i] = append(newF[i], e.id)
+						e.isNew = false // joined this round
+					}
+				} else {
+					oldF[i] = append(oldF[i], e.id)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for _, v := range newF[i] {
+				if len(newR[v]) < sampleLimit {
+					newR[v] = append(newR[v], uint32(i))
+				}
+			}
+			for _, v := range oldF[i] {
+				if len(oldR[v]) < sampleLimit {
+					oldR[v] = append(oldR[v], uint32(i))
+				}
+			}
+		}
+
+		// Local joins, parallel over points; updates are gathered and
+		// applied single-threaded to keep the algorithm deterministic.
+		type update struct {
+			target uint32
+			cand   entry
+		}
+		updateCh := make([][]update, workers)
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				var ups []update
+				join := func(a, b uint32) {
+					if a == b {
+						return
+					}
+					d := cfg.Metric.Distance(vectors.Row(int(a)), vectors.Row(int(b)))
+					ups = append(ups,
+						update{target: a, cand: entry{id: b, dist: d, isNew: true}},
+						update{target: b, cand: entry{id: a, dist: d, isNew: true}})
+				}
+				for i := lo; i < hi; i++ {
+					newSet := append(append([]uint32(nil), newF[i]...), newR[i]...)
+					oldSet := append(append([]uint32(nil), oldF[i]...), oldR[i]...)
+					for x := 0; x < len(newSet); x++ {
+						for y := x + 1; y < len(newSet); y++ {
+							join(newSet[x], newSet[y])
+						}
+						for _, o := range oldSet {
+							join(newSet[x], o)
+						}
+					}
+				}
+				updateCh[w] = ups
+			}(w, lo, hi)
+		}
+		wg.Wait()
+
+		changed := 0
+		for _, ups := range updateCh {
+			for _, u := range ups {
+				if insertEntry(&lists[u.target], u.cand, k) {
+					changed++
+				}
+			}
+		}
+		if float64(changed) < cfg.Delta*float64(n)*float64(k) {
+			break
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		nbrs := make([]graph.Candidate, len(lists[i]))
+		for j, e := range lists[i] {
+			nbrs[j] = graph.Candidate{ID: e.id, Dist: e.dist}
+		}
+		out.Neighbors[i] = nbrs
+	}
+	return out
+}
+
+func sortEntries(lst []entry) {
+	sort.Slice(lst, func(a, b int) bool {
+		if lst[a].dist != lst[b].dist {
+			return lst[a].dist < lst[b].dist
+		}
+		return lst[a].id < lst[b].id
+	})
+}
+
+// insertEntry adds cand to a sorted bounded list, rejecting duplicates and
+// entries worse than the current tail. It reports whether the list changed.
+func insertEntry(lst *[]entry, cand entry, k int) bool {
+	l := *lst
+	if len(l) == k && cand.dist >= l[len(l)-1].dist {
+		return false
+	}
+	for _, e := range l {
+		if e.id == cand.id {
+			return false
+		}
+	}
+	pos := sort.Search(len(l), func(i int) bool { return l[i].dist > cand.dist })
+	if len(l) < k {
+		l = append(l, entry{})
+	}
+	copy(l[pos+1:], l[pos:])
+	l[pos] = cand
+	*lst = l
+	return true
+}
+
+// RecallAgainst measures the per-point neighbor recall of this graph
+// against an exact kNN graph (diagnostic used by tests and docs).
+func RecallAgainst(approx, exact *graph.KNNGraph) float64 {
+	if len(approx.Neighbors) == 0 {
+		return 1
+	}
+	var sum float64
+	for i := range approx.Neighbors {
+		truth := make(map[uint32]bool, len(exact.Neighbors[i]))
+		for _, c := range exact.Neighbors[i] {
+			truth[c.ID] = true
+		}
+		hit := 0
+		for _, c := range approx.Neighbors[i] {
+			if truth[c.ID] {
+				hit++
+			}
+		}
+		if len(exact.Neighbors[i]) > 0 {
+			sum += float64(hit) / float64(len(exact.Neighbors[i]))
+		}
+	}
+	return sum / float64(len(approx.Neighbors))
+}

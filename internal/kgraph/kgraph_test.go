@@ -1,0 +1,127 @@
+package kgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"ngfix/internal/graph"
+	"ngfix/internal/nsg"
+	"ngfix/internal/vec"
+)
+
+func randomMatrix(seed int64, n, dim int) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < dim; j++ {
+			m.Row(i)[j] = float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestBuildShapeAndValidity(t *testing.T) {
+	m := randomMatrix(1, 400, 8)
+	kg := Build(m, DefaultConfig(vec.L2, 10))
+	if len(kg.Neighbors) != 400 || kg.K != 10 {
+		t.Fatalf("shape: %d lists, K=%d", len(kg.Neighbors), kg.K)
+	}
+	for i, nbrs := range kg.Neighbors {
+		if len(nbrs) != 10 {
+			t.Fatalf("row %d has %d neighbors", i, len(nbrs))
+		}
+		seen := map[uint32]bool{uint32(i): true}
+		for x, c := range nbrs {
+			if seen[c.ID] {
+				t.Fatalf("row %d: duplicate/self neighbor %d", i, c.ID)
+			}
+			seen[c.ID] = true
+			if x > 0 && nbrs[x-1].Dist > c.Dist {
+				t.Fatalf("row %d not ascending", i)
+			}
+			if want := vec.L2Squared(m.Row(i), m.Row(int(c.ID))); want != c.Dist {
+				t.Fatalf("row %d: stored dist %v != %v", i, c.Dist, want)
+			}
+		}
+	}
+}
+
+// NN-descent must converge to high neighbor recall against brute force.
+func TestBuildRecall(t *testing.T) {
+	m := randomMatrix(2, 600, 8)
+	exact := graph.BruteKNNGraph(m, vec.L2, 10)
+	approx := Build(m, DefaultConfig(vec.L2, 10))
+	if r := RecallAgainst(approx, exact); r < 0.90 {
+		t.Fatalf("NN-descent neighbor recall = %.3f, want >= 0.90", r)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	m := randomMatrix(3, 200, 6)
+	a := Build(m, DefaultConfig(vec.L2, 8))
+	b := Build(m, DefaultConfig(vec.L2, 8))
+	for i := range a.Neighbors {
+		for j := range a.Neighbors[i] {
+			if a.Neighbors[i][j].ID != b.Neighbors[i][j].ID {
+				t.Fatal("same seed, different graphs")
+			}
+		}
+	}
+}
+
+func TestBuildTiny(t *testing.T) {
+	empty := Build(vec.NewMatrix(0, 3), DefaultConfig(vec.L2, 5))
+	if len(empty.Neighbors) != 0 {
+		t.Fatal("empty build")
+	}
+	three := Build(randomMatrix(4, 3, 2), DefaultConfig(vec.L2, 10))
+	for i, nbrs := range three.Neighbors {
+		if len(nbrs) != 2 {
+			t.Fatalf("row %d: k should clamp to n-1, got %d", i, len(nbrs))
+		}
+	}
+}
+
+// The kNN graph NN-descent produces must be good enough to feed NSG.
+func TestFeedsNSG(t *testing.T) {
+	m := randomMatrix(5, 500, 8)
+	kg := Build(m, DefaultConfig(vec.L2, 20))
+	g := nsg.Build(m, kg, nsg.Config{R: 12, L: 40, C: 100, Metric: vec.L2})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, count := graph.ReachableSet(g, g.EntryPoint)
+	if count != 500 {
+		t.Fatalf("NSG over NN-descent graph: %d/500 reachable", count)
+	}
+}
+
+func TestInsertEntry(t *testing.T) {
+	var lst []entry
+	if !insertEntry(&lst, entry{id: 1, dist: 5}, 3) {
+		t.Fatal("insert into empty failed")
+	}
+	insertEntry(&lst, entry{id: 2, dist: 3}, 3)
+	insertEntry(&lst, entry{id: 3, dist: 4}, 3)
+	if lst[0].id != 2 || lst[1].id != 3 || lst[2].id != 1 {
+		t.Fatalf("order wrong: %+v", lst)
+	}
+	// Duplicate rejected.
+	if insertEntry(&lst, entry{id: 2, dist: 1}, 3) {
+		t.Fatal("duplicate accepted")
+	}
+	// Worse than tail rejected when full.
+	if insertEntry(&lst, entry{id: 9, dist: 9}, 3) {
+		t.Fatal("worse-than-tail accepted")
+	}
+	// Better evicts tail.
+	if !insertEntry(&lst, entry{id: 9, dist: 1}, 3) || lst[0].id != 9 || len(lst) != 3 {
+		t.Fatalf("eviction wrong: %+v", lst)
+	}
+}
+
+func TestRecallAgainstEdge(t *testing.T) {
+	if RecallAgainst(&graph.KNNGraph{}, &graph.KNNGraph{}) != 1 {
+		t.Fatal("empty recall should be 1")
+	}
+}

@@ -1,0 +1,157 @@
+// Package metrics implements the accuracy and efficiency measures the
+// paper reports: recall@k and relative distance error (rderr@k) against
+// ground truth, plus the QPS / NDC curve machinery behind every
+// QPS–recall and NDC–rderr figure.
+package metrics
+
+import (
+	"math"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/graph"
+)
+
+// Recall returns |result ∩ truth| / |truth| for one query. truth holds the
+// exact top-k ids; result the returned ids (extra entries are ignored
+// beyond len(truth)).
+func Recall(result []uint32, truth []uint32) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	set := make(map[uint32]struct{}, len(truth))
+	for _, id := range truth {
+		set[id] = struct{}{}
+	}
+	hit := 0
+	n := len(result)
+	if n > len(truth) {
+		n = len(truth)
+	}
+	for _, id := range result[:n] {
+		if _, ok := set[id]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// RDErr returns the relative distance error of one query's results:
+// mean over ranks i of (d(result_i) − d(truth_i)) / d(truth_i), clamped at
+// zero per rank. Missing ranks (short result lists) are charged the worst
+// observed ratio of 1. Inner-product distances can be negative; rderr is
+// computed on distances shifted to be positive across both lists, which
+// preserves the paper's "how much farther than optimal" reading.
+func RDErr(result []graph.Result, truth []bruteforce.Neighbor) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	// Shift so the smallest distance involved is 1.
+	minD := truth[0].Dist
+	for _, t := range truth {
+		if t.Dist < minD {
+			minD = t.Dist
+		}
+	}
+	for _, r := range result {
+		if r.Dist < minD {
+			minD = r.Dist
+		}
+	}
+	shift := float64(1) - float64(minD)
+	var s float64
+	for i, t := range truth {
+		td := float64(t.Dist) + shift
+		if i < len(result) {
+			rd := float64(result[i].Dist) + shift
+			e := (rd - td) / td
+			if e < 0 {
+				e = 0
+			}
+			s += e
+		} else {
+			s += 1
+		}
+	}
+	return s / float64(len(truth))
+}
+
+// MeanRecall averages Recall over a batch.
+func MeanRecall(results [][]uint32, truths [][]uint32) float64 {
+	if len(results) != len(truths) {
+		panic("metrics: batch size mismatch")
+	}
+	if len(results) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range results {
+		s += Recall(results[i], truths[i])
+	}
+	return s / float64(len(results))
+}
+
+// TruthIDs converts ground-truth neighbor lists to id lists truncated at k.
+func TruthIDs(gt [][]bruteforce.Neighbor, k int) [][]uint32 {
+	out := make([][]uint32, len(gt))
+	for i, ns := range gt {
+		n := k
+		if n > len(ns) {
+			n = len(ns)
+		}
+		ids := make([]uint32, n)
+		for j := 0; j < n; j++ {
+			ids[j] = ns[j].ID
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// Histogram buckets values into nBins equal-width bins over [lo, hi] and
+// returns the per-bin counts; values outside the range clamp to the edge
+// bins. Used for the recall-distribution exhibits (Figure 2b).
+func Histogram(values []float64, lo, hi float64, nBins int) []int {
+	counts := make([]int, nBins)
+	if hi <= lo || nBins == 0 {
+		return counts
+	}
+	w := (hi - lo) / float64(nBins)
+	for _, v := range values {
+		b := int((v - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nBins {
+			b = nBins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series (0 when degenerate). Figure 13(b) reports the correlation of
+// query accuracy with the number of NGFix-added edges.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

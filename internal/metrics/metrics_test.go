@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+func TestRecall(t *testing.T) {
+	truth := []uint32{1, 2, 3, 4}
+	if got := Recall([]uint32{1, 2, 3, 4}, truth); got != 1 {
+		t.Fatalf("perfect recall = %v", got)
+	}
+	if got := Recall([]uint32{1, 2, 9, 8}, truth); got != 0.5 {
+		t.Fatalf("half recall = %v", got)
+	}
+	if got := Recall(nil, truth); got != 0 {
+		t.Fatalf("empty result recall = %v", got)
+	}
+	if got := Recall([]uint32{5}, nil); got != 1 {
+		t.Fatalf("empty truth recall = %v", got)
+	}
+	// Extra results beyond |truth| must not inflate recall.
+	if got := Recall([]uint32{9, 8, 7, 6, 1, 2, 3, 4}, truth); got != 0 {
+		t.Fatalf("overlong result recall = %v", got)
+	}
+}
+
+func TestRDErr(t *testing.T) {
+	truth := []bruteforce.Neighbor{{ID: 1, Dist: 1}, {ID: 2, Dist: 2}}
+	perfect := []graph.Result{{ID: 1, Dist: 1}, {ID: 2, Dist: 2}}
+	if got := RDErr(perfect, truth); got != 0 {
+		t.Fatalf("perfect rderr = %v", got)
+	}
+	worse := []graph.Result{{ID: 9, Dist: 2}, {ID: 8, Dist: 4}}
+	if got := RDErr(worse, truth); got <= 0 {
+		t.Fatalf("worse rderr = %v, want > 0", got)
+	}
+	short := []graph.Result{{ID: 1, Dist: 1}}
+	if got := RDErr(short, truth); got != 0.5 {
+		t.Fatalf("short-result rderr = %v, want 0.5", got)
+	}
+	if got := RDErr(nil, nil); got != 0 {
+		t.Fatalf("empty rderr = %v", got)
+	}
+	// Better-than-truth per-rank (ties broken differently) clamps at 0.
+	tied := []graph.Result{{ID: 7, Dist: 0.5}, {ID: 2, Dist: 2}}
+	if got := RDErr(tied, truth); got != 0 {
+		t.Fatalf("closer-result rderr = %v, want 0", got)
+	}
+}
+
+func TestRDErrNegativeDistances(t *testing.T) {
+	// Inner-product distances are negative; shifting must keep rderr sane.
+	truth := []bruteforce.Neighbor{{ID: 1, Dist: -10}, {ID: 2, Dist: -8}}
+	res := []graph.Result{{ID: 1, Dist: -10}, {ID: 3, Dist: -7}}
+	got := RDErr(res, truth)
+	if got <= 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("negative-distance rderr = %v", got)
+	}
+}
+
+func TestMeanRecall(t *testing.T) {
+	r := [][]uint32{{1}, {2}}
+	tr := [][]uint32{{1}, {3}}
+	if got := MeanRecall(r, tr); got != 0.5 {
+		t.Fatalf("MeanRecall = %v", got)
+	}
+	if got := MeanRecall(nil, nil); got != 0 {
+		t.Fatalf("empty MeanRecall = %v", got)
+	}
+}
+
+func TestTruthIDs(t *testing.T) {
+	gt := [][]bruteforce.Neighbor{
+		{{ID: 5, Dist: 1}, {ID: 6, Dist: 2}, {ID: 7, Dist: 3}},
+		{{ID: 8, Dist: 1}},
+	}
+	ids := TruthIDs(gt, 2)
+	if len(ids[0]) != 2 || ids[0][0] != 5 || ids[0][1] != 6 {
+		t.Fatalf("TruthIDs[0] = %v", ids[0])
+	}
+	if len(ids[1]) != 1 || ids[1][0] != 8 {
+		t.Fatalf("TruthIDs[1] = %v", ids[1])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 0.1, 0.5, 0.99, 1.0, -5, 7}, 0, 1, 4)
+	// bins: [0,.25) [.25,.5) [.5,.75) [.75,1]
+	want := []int{3, 0, 1, 3}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("Histogram = %v, want %v", h, want)
+		}
+	}
+	if got := Histogram(nil, 1, 0, 3); got[0] != 0 {
+		t.Fatal("degenerate histogram should be zeros")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Pearson(x, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	if got := Pearson(x, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+	if got := Pearson(x, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("constant Pearson = %v, want 0", got)
+	}
+	if got := Pearson(x, []float64{1}); got != 0 {
+		t.Fatalf("mismatched Pearson = %v, want 0", got)
+	}
+}
+
+func lineDataset(n int) (*vec.Matrix, *graph.Graph) {
+	m := vec.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		m.Row(i)[0] = float32(i)
+	}
+	g := graph.New(m, vec.L2)
+	for i := uint32(0); i+1 < uint32(n); i++ {
+		g.AddBaseEdge(i, i+1)
+		g.AddBaseEdge(i+1, i)
+	}
+	return m, g
+}
+
+func TestSweepOnLineGraph(t *testing.T) {
+	base, g := lineDataset(50)
+	queries := vec.NewMatrix(5, 1)
+	for i := 0; i < 5; i++ {
+		queries.Row(i)[0] = float32(10*i) + 0.4
+	}
+	truth := bruteforce.AllKNN(base, queries, vec.L2, 5)
+	curve := Sweep(g, SweepConfig{K: 5, EFs: []int{5, 10, 20}, Queries: queries, Truth: truth})
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	for i, p := range curve {
+		if p.Recall <= 0 || p.Recall > 1 {
+			t.Fatalf("point %d recall %v out of range", i, p.Recall)
+		}
+		if p.NDC <= 0 || p.QPS <= 0 {
+			t.Fatalf("point %d has NDC %v QPS %v", i, p.NDC, p.QPS)
+		}
+		if p.LatP50US <= 0 || p.LatP99US < p.LatP50US {
+			t.Fatalf("point %d latency percentiles wrong: p50=%v p99=%v", i, p.LatP50US, p.LatP99US)
+		}
+		if i > 0 && p.NDC < curve[i-1].NDC {
+			t.Fatal("NDC should not shrink as EF grows")
+		}
+	}
+	if curve[len(curve)-1].Recall < 0.99 {
+		t.Fatalf("line graph with big ef should be near-exact, got %v", curve[len(curve)-1].Recall)
+	}
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c := Curve{
+		{EF: 10, Recall: 0.80, RDErr: 0.10, QPS: 1000, NDC: 100},
+		{EF: 20, Recall: 0.90, RDErr: 0.05, QPS: 600, NDC: 200},
+		{EF: 30, Recall: 1.00, RDErr: 0.00, QPS: 300, NDC: 400},
+	}
+	q, ok := c.QPSAtRecall(0.95)
+	if !ok || math.Abs(q-450) > 1e-9 {
+		t.Fatalf("QPSAtRecall(0.95) = %v,%v want 450", q, ok)
+	}
+	q, ok = c.QPSAtRecall(0.5)
+	if !ok || q != 1000 {
+		t.Fatalf("QPSAtRecall below curve start = %v,%v", q, ok)
+	}
+	if _, ok := c.QPSAtRecall(1.01); ok {
+		t.Fatal("unreachable recall should report !ok")
+	}
+	n, ok := c.NDCAtRDErr(0.075)
+	if !ok || math.Abs(n-150) > 1e-9 {
+		t.Fatalf("NDCAtRDErr(0.075) = %v,%v want 150", n, ok)
+	}
+	n, ok = c.NDCAtRDErr(0.2)
+	if !ok || n != 100 {
+		t.Fatalf("NDCAtRDErr above curve start = %v,%v", n, ok)
+	}
+	if _, ok := c.NDCAtRDErr(-1); ok {
+		t.Fatal("unreachable rderr should report !ok")
+	}
+	if c.MaxRecall() != 1 {
+		t.Fatalf("MaxRecall = %v", c.MaxRecall())
+	}
+}
+
+func TestDefaultEFs(t *testing.T) {
+	efs := DefaultEFs(100, 50, 250)
+	want := []int{100, 150, 200, 250}
+	if len(efs) != len(want) {
+		t.Fatalf("DefaultEFs = %v", efs)
+	}
+	for i := range want {
+		if efs[i] != want[i] {
+			t.Fatalf("DefaultEFs = %v, want %v", efs, want)
+		}
+	}
+}

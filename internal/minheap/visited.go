@@ -1,0 +1,47 @@
+package minheap
+
+// Visited is an epoch-stamped visited-set over vertex ids [0, n). Marking
+// is O(1) and clearing between searches is O(1) (bump the epoch), which
+// matters because beam search clears it once per query.
+type Visited struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// NewVisited returns a visited-set for ids in [0, n).
+func NewVisited(n int) *Visited {
+	return &Visited{stamp: make([]uint32, n), epoch: 1}
+}
+
+// Grow extends the id space to at least n, preserving current marks.
+func (v *Visited) Grow(n int) {
+	if n <= len(v.stamp) {
+		return
+	}
+	grown := make([]uint32, n)
+	copy(grown, v.stamp)
+	v.stamp = grown
+}
+
+// Reset forgets all marks in O(1).
+func (v *Visited) Reset() {
+	v.epoch++
+	if v.epoch == 0 { // wrapped: clear storage once every 2^32 resets
+		for i := range v.stamp {
+			v.stamp[i] = 0
+		}
+		v.epoch = 1
+	}
+}
+
+// Visit marks id and reports whether it was already marked.
+func (v *Visited) Visit(id uint32) bool {
+	if v.stamp[id] == v.epoch {
+		return true
+	}
+	v.stamp[id] = v.epoch
+	return false
+}
+
+// Test reports whether id is marked without marking it.
+func (v *Visited) Test(id uint32) bool { return v.stamp[id] == v.epoch }

@@ -1,0 +1,114 @@
+// Package nsg implements the Navigating Spreading-out Graph (Fu et al.,
+// VLDB 2019), the MRNG-approximation baseline of the paper. The build
+// follows the published recipe: start from a kNN graph, pick the medoid as
+// the navigating node, gather per-node candidate pools by beam-searching
+// the kNN graph from the navigating node, prune with the MRNG rule, and
+// finally repair connectivity with a spanning tree from the navigating
+// node.
+//
+// τ-MNG (Peng et al., SIGMOD 2023 — the title-collision paper, see
+// DESIGN.md) shares this entire pipeline with a relaxed pruning rule, so
+// the builder takes the pruning rule as a parameter; package taumng wraps
+// it.
+package nsg
+
+import (
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+// Config holds NSG build parameters.
+type Config struct {
+	// R is the max out-degree of the final graph.
+	R int
+	// L is the beam width used to gather each node's candidate pool.
+	L int
+	// C caps the candidate pool size before pruning.
+	C int
+	// Metric is the distance function.
+	Metric vec.Metric
+	// Tau, when positive, switches the pruning rule from MRNG to the
+	// τ-MNG rule with that τ.
+	Tau float32
+}
+
+// DefaultConfig mirrors the paper's NSG parameter shape at this
+// repository's scales.
+func DefaultConfig(metric vec.Metric) Config {
+	return Config{R: 32, L: 100, C: 300, Metric: metric}
+}
+
+// Build constructs an NSG (or τ-MNG when cfg.Tau > 0) over the vectors,
+// using the supplied kNN graph as the construction substrate.
+func Build(vectors *vec.Matrix, knn *graph.KNNGraph, cfg Config) *graph.Graph {
+	n := vectors.Rows()
+	g := graph.New(vectors, cfg.Metric)
+	if n == 0 {
+		return g
+	}
+	if cfg.C < cfg.L {
+		cfg.C = cfg.L
+	}
+
+	// Navigating node: medoid of the dataset.
+	knnG := knnAsGraph(vectors, knn, cfg.Metric)
+	nav := knnG.Medoid()
+	knnG.EntryPoint = nav
+
+	searcher := graph.NewSearcher(knnG)
+	searcher.CollectVisited = true
+
+	prune := func(cands []graph.Candidate) []graph.Candidate {
+		if cfg.Tau > 0 {
+			return graph.TauPrune(vectors, cfg.Metric, cands, cfg.R, cfg.Tau)
+		}
+		return graph.RNGPrune(vectors, cfg.Metric, cands, cfg.R)
+	}
+
+	for u := 0; u < n; u++ {
+		// Candidate pool: points visited while searching for u from the
+		// navigating node, plus u's kNN list (the NSG paper's recipe).
+		searcher.SearchFrom(vectors.Row(u), cfg.L, cfg.L, nav)
+		pool := make([]graph.Candidate, 0, cfg.C+knn.K)
+		seen := make(map[uint32]bool, cfg.C+knn.K)
+		for _, v := range searcher.Visited {
+			if v.ID != uint32(u) && !seen[v.ID] {
+				seen[v.ID] = true
+				pool = append(pool, graph.Candidate{ID: v.ID, Dist: v.Dist})
+			}
+		}
+		for _, c := range knn.Neighbors[u] {
+			if c.ID != uint32(u) && !seen[c.ID] {
+				seen[c.ID] = true
+				pool = append(pool, c)
+			}
+		}
+		graph.SortCandidates(pool)
+		if len(pool) > cfg.C {
+			pool = pool[:cfg.C]
+		}
+		kept := prune(pool)
+		nbrs := make([]uint32, len(kept))
+		for i, c := range kept {
+			nbrs[i] = c.ID
+		}
+		g.SetBaseNeighbors(uint32(u), nbrs)
+	}
+
+	g.EntryPoint = nav
+	graph.EnsureReachable(g, nav, cfg.L)
+	return g
+}
+
+// knnAsGraph materializes the kNN lists as a directed graph for searching.
+func knnAsGraph(vectors *vec.Matrix, knn *graph.KNNGraph, metric vec.Metric) *graph.Graph {
+	g := graph.New(vectors, metric)
+	for u := range knn.Neighbors {
+		nbrs := make([]uint32, len(knn.Neighbors[u]))
+		for i, c := range knn.Neighbors[u] {
+			nbrs[i] = c.ID
+		}
+		g.SetBaseNeighbors(uint32(u), nbrs)
+	}
+	return g
+}

@@ -1,0 +1,105 @@
+package nsg
+
+import (
+	"math/rand"
+	"testing"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/graph"
+	"ngfix/internal/metrics"
+	"ngfix/internal/vec"
+)
+
+func randomMatrix(seed int64, n, dim int) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func buildSmall(t *testing.T, tau float32) (*vec.Matrix, *graph.Graph) {
+	t.Helper()
+	m := randomMatrix(1, 500, 8)
+	knn := graph.BruteKNNGraph(m, vec.L2, 20)
+	g := Build(m, knn, Config{R: 12, L: 40, C: 100, Metric: vec.L2, Tau: tau})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid NSG: %v", err)
+	}
+	return m, g
+}
+
+func TestBuildStructure(t *testing.T) {
+	_, g := buildSmall(t, 0)
+	if g.Len() != 500 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	// Degree bound R can be exceeded only by connectivity-repair edges;
+	// allow a small slack but no blowup.
+	for u := 0; u < g.Len(); u++ {
+		if d := len(g.BaseNeighbors(uint32(u))); d > 12+6 {
+			t.Fatalf("vertex %d degree %d", u, d)
+		}
+	}
+}
+
+func TestEveryVertexReachable(t *testing.T) {
+	_, g := buildSmall(t, 0)
+	// BFS from entry must cover all vertices (the NSG tree step's promise).
+	seen := make([]bool, g.Len())
+	stack := []uint32{g.EntryPoint}
+	seen[g.EntryPoint] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.BaseNeighbors(u) {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	if count != g.Len() {
+		t.Fatalf("only %d/%d vertices reachable from entry", count, g.Len())
+	}
+}
+
+func TestSearchAccuracy(t *testing.T) {
+	m, g := buildSmall(t, 0)
+	queries := randomMatrix(2, 40, 8)
+	gt := bruteforce.AllKNN(m, queries, vec.L2, 10)
+	s := graph.NewSearcher(g)
+	var sum float64
+	for qi := 0; qi < 40; qi++ {
+		res, _ := s.Search(queries.Row(qi), 10, 80)
+		sum += metrics.Recall(graph.IDs(res), bruteforce.IDs(gt[qi]))
+	}
+	if avg := sum / 40; avg < 0.9 {
+		t.Fatalf("NSG recall@10 = %.3f, want >= 0.9", avg)
+	}
+}
+
+func TestTauVariantKeepsMoreEdges(t *testing.T) {
+	_, g0 := buildSmall(t, 0)
+	_, gTau := buildSmall(t, 0.3)
+	b0, _ := g0.EdgeCount()
+	bt, _ := gTau.EdgeCount()
+	if bt < b0 {
+		t.Fatalf("tau build has fewer edges (%d) than MRNG build (%d)", bt, b0)
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	m := vec.NewMatrix(0, 4)
+	knn := &graph.KNNGraph{K: 0}
+	g := Build(m, knn, DefaultConfig(vec.L2))
+	if g.Len() != 0 {
+		t.Fatal("empty build should yield empty graph")
+	}
+}

@@ -1,0 +1,223 @@
+// Package pq implements Product Quantization (Jégou et al., TPAMI 2011),
+// the compression family the reproduced paper's related-work section
+// covers, and its standard combination with graph search: navigate the
+// graph scoring candidates with cheap asymmetric-distance (ADC) table
+// lookups, then re-rank the best candidates with exact distances. The
+// combination ("graph-based methods can be combined with other methods to
+// achieve better overall performance") trades a small recall loss for a
+// large reduction in full-precision distance work.
+package pq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ngfix/internal/vec"
+)
+
+// Config holds PQ training parameters.
+type Config struct {
+	// M is the number of subspaces (must divide the dimension).
+	M int
+	// KS is the number of centroids per subspace (≤ 256; codes are bytes).
+	KS int
+	// Iters is the number of k-means iterations per subspace.
+	Iters int
+	// Seed drives centroid initialization.
+	Seed int64
+}
+
+// DefaultConfig picks a standard setting for the given dimension.
+func DefaultConfig(dim int) Config {
+	m := 8
+	for dim%m != 0 && m > 1 {
+		m--
+	}
+	return Config{M: m, KS: 64, Iters: 8, Seed: 23}
+}
+
+// Quantizer is a trained product quantizer plus the codes of a dataset.
+type Quantizer struct {
+	cfg Config
+	dim int
+	sub int // dim / M
+	// centroids[m] is a KS×sub matrix of subspace centroids.
+	centroids []*vec.Matrix
+	// codes holds M bytes per encoded row.
+	codes []byte
+	rows  int
+}
+
+// Train fits the codebooks on the dataset and encodes every row.
+func Train(data *vec.Matrix, cfg Config) (*Quantizer, error) {
+	dim := data.Dim()
+	if cfg.M <= 0 || dim%cfg.M != 0 {
+		return nil, fmt.Errorf("pq: M=%d must divide dim=%d", cfg.M, dim)
+	}
+	if cfg.KS <= 0 || cfg.KS > 256 {
+		return nil, fmt.Errorf("pq: KS=%d out of range (1..256)", cfg.KS)
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 8
+	}
+	n := data.Rows()
+	ks := cfg.KS
+	if ks > n {
+		ks = n
+	}
+	q := &Quantizer{cfg: cfg, dim: dim, sub: dim / cfg.M, rows: n}
+	q.cfg.KS = ks
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	q.centroids = make([]*vec.Matrix, cfg.M)
+	for m := 0; m < cfg.M; m++ {
+		q.centroids[m] = trainSubspace(data, m, q.sub, ks, cfg.Iters, rng)
+	}
+	q.codes = make([]byte, n*cfg.M)
+	for i := 0; i < n; i++ {
+		q.encodeInto(data.Row(i), q.codes[i*cfg.M:(i+1)*cfg.M])
+	}
+	return q, nil
+}
+
+// trainSubspace runs k-means on one coordinate block.
+func trainSubspace(data *vec.Matrix, m, sub, ks, iters int, rng *rand.Rand) *vec.Matrix {
+	n := data.Rows()
+	cents := vec.NewMatrix(ks, sub)
+	// k-means++-lite: random distinct starting rows.
+	perm := rng.Perm(n)
+	for c := 0; c < ks; c++ {
+		copy(cents.Row(c), data.Row(perm[c])[m*sub:(m+1)*sub])
+	}
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := 0
+		for i := 0; i < n; i++ {
+			block := data.Row(i)[m*sub : (m+1)*sub]
+			best, bestD := 0, float32(math.Inf(1))
+			for c := 0; c < ks; c++ {
+				if d := vec.L2Squared(block, cents.Row(c)); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed++
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, ks)
+		sums := make([][]float64, ks)
+		for c := range sums {
+			sums[c] = make([]float64, sub)
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			block := data.Row(i)[m*sub : (m+1)*sub]
+			for j, v := range block {
+				sums[c][j] += float64(v)
+			}
+		}
+		for c := 0; c < ks; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster from a random point.
+				copy(cents.Row(c), data.Row(rng.Intn(n))[m*sub:(m+1)*sub])
+				continue
+			}
+			row := cents.Row(c)
+			for j := range row {
+				row[j] = float32(sums[c][j] / float64(counts[c]))
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return cents
+}
+
+func (q *Quantizer) encodeInto(row []float32, dst []byte) {
+	for m := 0; m < q.cfg.M; m++ {
+		block := row[m*q.sub : (m+1)*q.sub]
+		best, bestD := 0, float32(math.Inf(1))
+		for c := 0; c < q.cfg.KS; c++ {
+			if d := vec.L2Squared(block, q.centroids[m].Row(c)); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		dst[m] = byte(best)
+	}
+}
+
+// Code returns the code bytes of row i (aliasing internal storage).
+func (q *Quantizer) Code(i int) []byte { return q.codes[i*q.cfg.M : (i+1)*q.cfg.M] }
+
+// Rows returns the number of encoded rows.
+func (q *Quantizer) Rows() int { return q.rows }
+
+// M returns the number of subspaces.
+func (q *Quantizer) M() int { return q.cfg.M }
+
+// CodeBytes returns the total size of the stored codes in bytes.
+func (q *Quantizer) CodeBytes() int { return len(q.codes) }
+
+// Decode reconstructs the quantized approximation of row i.
+func (q *Quantizer) Decode(i int) []float32 {
+	out := make([]float32, q.dim)
+	code := q.Code(i)
+	for m := 0; m < q.cfg.M; m++ {
+		copy(out[m*q.sub:(m+1)*q.sub], q.centroids[m].Row(int(code[m])))
+	}
+	return out
+}
+
+// Table is the per-query ADC lookup table: Table[m][c] is the partial
+// squared distance between the query's m-th block and centroid c.
+type Table [][]float32
+
+// BuildTable precomputes the ADC table for a query (L2 / squared-distance
+// semantics; for inner product or cosine on normalized data the L2 table
+// preserves the ranking).
+func (q *Quantizer) BuildTable(query []float32) Table {
+	if len(query) != q.dim {
+		panic("pq: query dimension mismatch")
+	}
+	t := make(Table, q.cfg.M)
+	for m := 0; m < q.cfg.M; m++ {
+		block := query[m*q.sub : (m+1)*q.sub]
+		row := make([]float32, q.cfg.KS)
+		for c := 0; c < q.cfg.KS; c++ {
+			row[c] = vec.L2Squared(block, q.centroids[m].Row(c))
+		}
+		t[m] = row
+	}
+	return t
+}
+
+// ADC returns the asymmetric approximate squared distance between the
+// table's query and encoded row i: M table lookups, no float math on the
+// original vectors.
+func (q *Quantizer) ADC(t Table, i int) float32 {
+	code := q.Code(i)
+	var s float32
+	for m, c := range code {
+		s += t[m][c]
+	}
+	return s
+}
+
+// QuantizationError returns the mean squared reconstruction error over
+// the encoded dataset (diagnostic).
+func (q *Quantizer) QuantizationError(data *vec.Matrix) float64 {
+	n := data.Rows()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(vec.L2Squared(data.Row(i), q.Decode(i)))
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,114 @@
+package pq
+
+import (
+	"ngfix/internal/graph"
+	"ngfix/internal/minheap"
+)
+
+// GraphSearcher runs beam search over a graph index scoring candidates
+// with ADC lookups instead of full-precision distances, then re-ranks the
+// final candidates exactly. One full-precision distance is paid per
+// re-ranked candidate instead of per visited vertex.
+type GraphSearcher struct {
+	g       *graph.Graph
+	q       *Quantizer
+	visited *minheap.Visited
+	cand    *minheap.Min
+	results *minheap.Bounded
+	// Rerank is how many ADC-best candidates get exact re-ranking
+	// (default 4·k at search time when zero).
+	Rerank int
+}
+
+// NewGraphSearcher pairs a graph with a quantizer trained on the same
+// rows (ids must correspond).
+func NewGraphSearcher(g *graph.Graph, q *Quantizer) *GraphSearcher {
+	if q.Rows() != g.Len() {
+		panic("pq: quantizer rows != graph size")
+	}
+	return &GraphSearcher{
+		g:       g,
+		q:       q,
+		visited: minheap.NewVisited(g.Len()),
+		cand:    minheap.NewMin(256),
+		results: minheap.NewBounded(16),
+	}
+}
+
+// Search returns the top-k for the query using ADC-guided beam search
+// with search list ef and exact re-ranking. Stats.NDC counts only
+// full-precision distance evaluations (the re-rank), mirroring how
+// PQ+graph systems report their savings.
+func (s *GraphSearcher) Search(query []float32, k, ef int) ([]graph.Result, graph.Stats) {
+	g := s.g
+	if g.Len() == 0 {
+		return nil, graph.Stats{}
+	}
+	if ef < k {
+		ef = k
+	}
+	rerank := s.Rerank
+	if rerank <= 0 {
+		rerank = 4 * k
+	}
+	if rerank < ef {
+		rerank = ef
+	}
+	table := s.q.BuildTable(query)
+
+	s.visited.Grow(g.Len())
+	s.visited.Reset()
+	s.cand.Reset()
+	s.results.Reset(rerank)
+
+	var st graph.Stats
+	entry := g.EntryPoint
+	s.visited.Visit(entry)
+	ed := s.q.ADC(table, int(entry))
+	s.cand.Push(minheap.Item{ID: entry, Dist: ed})
+	if !g.IsDeleted(entry) {
+		s.results.Push(minheap.Item{ID: entry, Dist: ed})
+	}
+	for s.cand.Len() > 0 {
+		cur := s.cand.Pop()
+		if worst, ok := s.results.MaxDist(); ok && s.results.Full() && cur.Dist > worst {
+			break
+		}
+		st.Hops++
+		expand := func(v uint32) {
+			if s.visited.Visit(v) {
+				return
+			}
+			d := s.q.ADC(table, int(v))
+			if s.results.WouldAccept(d) {
+				s.cand.Push(minheap.Item{ID: v, Dist: d})
+				if !g.IsDeleted(v) {
+					s.results.Push(minheap.Item{ID: v, Dist: d})
+				}
+			}
+		}
+		for _, v := range g.BaseNeighbors(cur.ID) {
+			expand(v)
+		}
+		for _, e := range g.ExtraNeighbors(cur.ID) {
+			expand(e.To)
+		}
+	}
+
+	// Exact re-rank of the ADC-best candidates.
+	items := s.results.SortedAscending()
+	reranked := minheap.NewBounded(k)
+	for _, it := range items {
+		d := g.Metric.Distance(query, g.Vectors.Row(int(it.ID)))
+		st.NDC++
+		if reranked.WouldAccept(d) {
+			reranked.Push(minheap.Item{ID: it.ID, Dist: d})
+		}
+	}
+	final := reranked.SortedAscending()
+	out := make([]graph.Result, len(final))
+	for i, it := range final {
+		out[i] = graph.Result{ID: it.ID, Dist: it.Dist}
+	}
+	return out, st
+}

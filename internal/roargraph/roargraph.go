@@ -1,0 +1,198 @@
+// Package roargraph implements RoarGraph (Chen et al., VLDB 2024), the
+// projected-bipartite-graph index for cross-modal ANNS that the paper
+// positions as its strongest baseline. The build follows the three steps
+// the paper summarizes in §1:
+//
+//  1. Bipartite graph: every historical query is connected to its exact k
+//     nearest base points (this is the step that makes RoarGraph's
+//     construction expensive — it needs ground truth for every query and
+//     cannot use an existing index to approximate it, because no complete
+//     graph over the base exists yet at that point).
+//  2. Projection: each query node is projected onto the base side —
+//     replaced by its nearest base neighbor, which inherits edges toward
+//     the query's remaining neighbors (occlusion-pruned so the projected
+//     node's out-edges stay informative).
+//  3. Connectivity enhancement: each base node gathers a candidate pool by
+//     beam-searching the projected graph and extends its adjacency up to
+//     the degree bound, followed by the standard reachability repair.
+package roargraph
+
+import (
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+// Config holds RoarGraph build parameters.
+type Config struct {
+	// M is the out-degree bound of the final graph.
+	M int
+	// KQ is the number of exact base neighbors computed per query when
+	// building the bipartite graph (the paper's N_q-neighbor step).
+	KQ int
+	// L is the beam width of the connectivity-enhancement pass.
+	L int
+	// Metric is the distance function.
+	Metric vec.Metric
+}
+
+// DefaultConfig mirrors the paper's RoarGraph settings at this
+// repository's scales.
+func DefaultConfig(metric vec.Metric) Config {
+	return Config{M: 32, KQ: 32, L: 100, Metric: metric}
+}
+
+// Build constructs a RoarGraph over base using the historical queries.
+// Ground truth for the queries is computed exactly (brute force), matching
+// the published construction and its cost profile.
+func Build(base *vec.Matrix, queries *vec.Matrix, cfg Config) *graph.Graph {
+	g := graph.New(base, cfg.Metric)
+	n := base.Rows()
+	if n == 0 {
+		return g
+	}
+
+	// Step 1: bipartite neighbors (exact) per query.
+	gt := bruteforce.AllKNN(base, queries, cfg.Metric, cfg.KQ)
+
+	// projection records which out-edges came from the query projection;
+	// the enhancement pass must preserve them — they encode the query
+	// distribution, which is RoarGraph's entire advantage.
+	projection := make([]map[uint32]bool, n)
+	markProj := func(u, v uint32) {
+		if projection[u] == nil {
+			projection[u] = make(map[uint32]bool, cfg.M)
+		}
+		projection[u][v] = true
+	}
+
+	// Step 2: projection. The query's nearest base point absorbs the query
+	// node: it gains occlusion-pruned edges toward the query's other
+	// neighbors, and each of those neighbors gains a back edge, bridging
+	// the two distributions inside the base-only graph.
+	for _, nbrs := range gt {
+		if len(nbrs) < 2 {
+			continue
+		}
+		pivot := nbrs[0].ID
+		pRow := base.Row(int(pivot))
+		cands := make([]graph.Candidate, 0, len(nbrs)-1)
+		for _, nb := range nbrs[1:] {
+			if nb.ID == pivot {
+				continue
+			}
+			cands = append(cands, graph.Candidate{
+				ID:   nb.ID,
+				Dist: cfg.Metric.Distance(pRow, base.Row(int(nb.ID))),
+			})
+		}
+		graph.SortCandidates(cands)
+		kept := graph.RNGPrune(base, cfg.Metric, cands, cfg.M)
+		for _, c := range kept {
+			addCapped(g, pivot, c.ID, cfg)
+			addCapped(g, c.ID, pivot, cfg)
+			markProj(pivot, c.ID)
+			markProj(c.ID, pivot)
+		}
+	}
+
+	// The projected graph may be sparse in regions no query touched; seed
+	// those vertices with a few exact neighbors of their own so the
+	// enhancement pass has somewhere to search from. (RoarGraph seeds from
+	// the bipartite structure; isolated vertices get attached during its
+	// connectivity phase — this is that attachment, done eagerly.)
+	g.EntryPoint = g.Medoid()
+	graph.EnsureReachable(g, g.EntryPoint, cfg.L)
+
+	// Step 3: connectivity enhancement — every node keeps its
+	// query-projected edges (the distribution-bridging ones) and fills the
+	// remaining degree budget with occlusion-pruned candidates discovered
+	// by searching the projected graph for itself.
+	s := graph.NewSearcher(g)
+	s.CollectVisited = true
+	for u := 0; u < n; u++ {
+		uu := uint32(u)
+		uRow := base.Row(u)
+		// Seed the kept set with the projection edges, closest first.
+		var kept []graph.Candidate
+		seen := map[uint32]bool{uu: true}
+		for _, w := range g.BaseNeighbors(uu) {
+			if projection[u] != nil && projection[u][w] {
+				kept = append(kept, graph.Candidate{ID: w, Dist: cfg.Metric.Distance(uRow, base.Row(int(w)))})
+				seen[w] = true
+			}
+		}
+		graph.SortCandidates(kept)
+		// Projection edges get priority but only up to half the budget, so
+		// every node also keeps proximity edges for fine-grained
+		// navigation near the end of a search.
+		if len(kept) > cfg.M/2 {
+			kept = kept[:cfg.M/2]
+		}
+		// Candidate pool: search visitation + current neighbors.
+		s.SearchFrom(uRow, cfg.L, cfg.L, g.EntryPoint)
+		pool := make([]graph.Candidate, 0, len(s.Visited))
+		for _, v := range s.Visited {
+			if !seen[v.ID] {
+				seen[v.ID] = true
+				pool = append(pool, graph.Candidate{ID: v.ID, Dist: v.Dist})
+			}
+		}
+		for _, w := range g.BaseNeighbors(uu) {
+			if !seen[w] {
+				seen[w] = true
+				pool = append(pool, graph.Candidate{ID: w, Dist: cfg.Metric.Distance(uRow, base.Row(int(w)))})
+			}
+		}
+		graph.SortCandidates(pool)
+		// Occlusion rule against the already-kept (projection) edges.
+		for _, c := range pool {
+			if len(kept) >= cfg.M {
+				break
+			}
+			occluded := false
+			cRow := base.Row(int(c.ID))
+			for _, k := range kept {
+				if cfg.Metric.Distance(base.Row(int(k.ID)), cRow) < c.Dist {
+					occluded = true
+					break
+				}
+			}
+			if !occluded {
+				kept = append(kept, c)
+			}
+		}
+		graph.SortCandidates(kept)
+		nbrs := make([]uint32, len(kept))
+		for i, c := range kept {
+			nbrs[i] = c.ID
+		}
+		g.SetBaseNeighbors(uu, nbrs)
+	}
+	graph.EnsureReachable(g, g.EntryPoint, cfg.L)
+	return g
+}
+
+// addCapped adds u→v, shrinking u's adjacency with the occlusion rule when
+// it exceeds the degree bound.
+func addCapped(g *graph.Graph, u, v uint32, cfg Config) {
+	if !g.AddBaseEdge(u, v) {
+		return
+	}
+	nbrs := g.BaseNeighbors(u)
+	if len(nbrs) <= cfg.M {
+		return
+	}
+	uRow := g.Vectors.Row(int(u))
+	cands := make([]graph.Candidate, len(nbrs))
+	for i, w := range nbrs {
+		cands[i] = graph.Candidate{ID: w, Dist: cfg.Metric.Distance(uRow, g.Vectors.Row(int(w)))}
+	}
+	graph.SortCandidates(cands)
+	kept := graph.RNGPrune(g.Vectors, cfg.Metric, cands, cfg.M)
+	out := make([]uint32, len(kept))
+	for i, c := range kept {
+		out[i] = c.ID
+	}
+	g.SetBaseNeighbors(u, out)
+}

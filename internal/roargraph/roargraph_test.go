@@ -1,0 +1,86 @@
+package roargraph
+
+import (
+	"testing"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/dataset"
+	"ngfix/internal/graph"
+	"ngfix/internal/metrics"
+	"ngfix/internal/vec"
+)
+
+func crossModal(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.Generate(dataset.Config{
+		Name: "rg-test", N: 800, NHist: 300, NTest: 60,
+		Dim: 12, Clusters: 8, Metric: vec.L2,
+		GapMagnitude: 1.8, ClusterStd: 0.22, QueryStdScale: 1.6,
+		Seed: 5,
+	})
+}
+
+func TestBuildValidGraph(t *testing.T) {
+	d := crossModal(t)
+	cfg := Config{M: 16, KQ: 16, L: 40, Metric: vec.L2}
+	g := Build(d.Base, d.History, cfg)
+	if g.Len() != 800 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid graph: %v", err)
+	}
+	for u := 0; u < g.Len(); u++ {
+		if deg := len(g.BaseNeighbors(uint32(u))); deg > 16+4 {
+			t.Fatalf("vertex %d degree %d exceeds bound", u, deg)
+		}
+	}
+	// Full reachability from entry.
+	_, count := graph.ReachableSet(g, g.EntryPoint)
+	if count != g.Len() {
+		t.Fatalf("only %d/%d reachable", count, g.Len())
+	}
+}
+
+func TestOODRecallBeatsQueryBlindGraph(t *testing.T) {
+	d := crossModal(t)
+	cfg := Config{M: 16, KQ: 16, L: 40, Metric: vec.L2}
+	g := Build(d.Base, d.History, cfg)
+	gt := bruteforce.AllKNN(d.Base, d.TestOOD, vec.L2, 10)
+	s := graph.NewSearcher(g)
+	var sum float64
+	for qi := 0; qi < d.TestOOD.Rows(); qi++ {
+		res, _ := s.Search(d.TestOOD.Row(qi), 10, 60)
+		sum += metrics.Recall(graph.IDs(res), bruteforce.IDs(gt[qi]))
+	}
+	if avg := sum / float64(d.TestOOD.Rows()); avg < 0.85 {
+		t.Fatalf("RoarGraph OOD recall@10 = %.3f, want >= 0.85", avg)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	g := Build(vec.NewMatrix(0, 4), vec.NewMatrix(0, 4), DefaultConfig(vec.L2))
+	if g.Len() != 0 {
+		t.Fatal("empty base should build empty graph")
+	}
+	// No queries: the build degenerates to reachability repair only.
+	base := vec.MatrixFromRows([][]float32{{0, 0}, {1, 0}, {0, 1}})
+	g = Build(base, vec.NewMatrix(0, 2), Config{M: 4, KQ: 4, L: 8, Metric: vec.L2})
+	if g.Len() != 3 {
+		t.Fatal("base without queries should still index")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, count := graph.ReachableSet(g, g.EntryPoint)
+	if count != 3 {
+		t.Fatalf("reachable %d/3", count)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(vec.Cosine)
+	if cfg.Metric != vec.Cosine || cfg.M <= 0 || cfg.KQ <= 0 || cfg.L <= 0 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+}

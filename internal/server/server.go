@@ -1,0 +1,241 @@
+// Package server exposes an online-fixed NGFix index over HTTP with a
+// small JSON API — the deployment shape of the paper's production story:
+// the index serves searches while continuously repairing itself with the
+// query stream it observes.
+//
+//	POST /v1/search   {"vector": [...], "k": 10, "ef": 100}
+//	POST /v1/insert   {"vector": [...]}
+//	POST /v1/delete   {"id": 123}
+//	POST /v1/fix      {}                      — drain & fix recorded queries
+//	POST /v1/purge    {"k": 30, "ef": 200}    — unlink tombstones + repair
+//	GET  /v1/stats
+//	GET  /healthz
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ngfix/internal/core"
+)
+
+// Server wires an OnlineFixer to an http.Handler.
+type Server struct {
+	fixer *core.OnlineFixer
+	mux   *http.ServeMux
+	// DefaultK / DefaultEF apply when a search request omits them.
+	DefaultK, DefaultEF int
+}
+
+// New builds a Server around an online fixer.
+func New(fixer *core.OnlineFixer) *Server {
+	s := &Server{fixer: fixer, mux: http.NewServeMux(), DefaultK: 10, DefaultEF: 100}
+	s.mux.HandleFunc("/v1/search", s.handleSearch)
+	s.mux.HandleFunc("/v1/insert", s.handleInsert)
+	s.mux.HandleFunc("/v1/delete", s.handleDelete)
+	s.mux.HandleFunc("/v1/fix", s.handleFix)
+	s.mux.HandleFunc("/v1/purge", s.handlePurge)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SearchRequest is the /v1/search body.
+type SearchRequest struct {
+	Vector []float32 `json:"vector"`
+	K      int       `json:"k,omitempty"`
+	EF     int       `json:"ef,omitempty"`
+}
+
+// SearchHit is one result row.
+type SearchHit struct {
+	ID   uint32  `json:"id"`
+	Dist float32 `json:"dist"`
+}
+
+// SearchResponse is the /v1/search reply.
+type SearchResponse struct {
+	Results []SearchHit `json:"results"`
+	NDC     int64       `json:"ndc"`
+}
+
+// InsertRequest is the /v1/insert body.
+type InsertRequest struct {
+	Vector []float32 `json:"vector"`
+}
+
+// InsertResponse is the /v1/insert reply.
+type InsertResponse struct {
+	ID uint32 `json:"id"`
+}
+
+// DeleteRequest is the /v1/delete body.
+type DeleteRequest struct {
+	ID uint32 `json:"id"`
+}
+
+// DeleteResponse is the /v1/delete reply.
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+// FixResponse is the /v1/fix reply.
+type FixResponse struct {
+	Queries    int `json:"queries"`
+	NGFixEdges int `json:"ngfixEdges"`
+	RFixEdges  int `json:"rfixEdges"`
+}
+
+// PurgeRequest is the /v1/purge body.
+type PurgeRequest struct {
+	K  int `json:"k,omitempty"`
+	EF int `json:"ef,omitempty"`
+}
+
+// PurgeResponse is the /v1/purge reply.
+type PurgeResponse struct {
+	Purged       int `json:"purged"`
+	EdgesRemoved int `json:"edgesRemoved"`
+	RepairEdges  int `json:"repairEdges"`
+}
+
+// StatsResponse is the /v1/stats reply.
+type StatsResponse struct {
+	Vectors      int     `json:"vectors"`
+	Live         int     `json:"live"`
+	Dim          int     `json:"dim"`
+	Metric       string  `json:"metric"`
+	AvgDegree    float64 `json:"avgDegree"`
+	SizeBytes    int64   `json:"sizeBytes"`
+	PendingFix   int     `json:"pendingFix"`
+	FixedQueries int     `json:"fixedQueries"`
+	FixBatches   int     `json:"fixBatches"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.checkVector(req.Vector); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = s.DefaultK
+	}
+	ef := req.EF
+	if ef <= 0 {
+		ef = s.DefaultEF
+	}
+	res, st := s.fixer.Search(req.Vector, k, ef)
+	resp := SearchResponse{NDC: st.NDC, Results: make([]SearchHit, len(res))}
+	for i, h := range res {
+		resp.Results[i] = SearchHit{ID: h.ID, Dist: h.Dist}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.checkVector(req.Vector); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, InsertResponse{ID: s.fixer.Insert(req.Vector)})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if int(req.ID) >= s.fixer.Index().G.Len() {
+		httpError(w, http.StatusNotFound, fmt.Errorf("id %d out of range", req.ID))
+		return
+	}
+	writeJSON(w, DeleteResponse{Deleted: s.fixer.Delete(req.ID)})
+}
+
+func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	rep := s.fixer.FixPending()
+	writeJSON(w, FixResponse{Queries: rep.Queries, NGFixEdges: rep.NGFixEdges, RFixEdges: rep.RFixEdges})
+}
+
+func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
+	var req PurgeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	rep := s.fixer.PurgeAndRepair(req.K, req.EF)
+	writeJSON(w, PurgeResponse{Purged: rep.Purged, EdgesRemoved: rep.EdgesRemoved, RepairEdges: rep.RepairEdges})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	g := s.fixer.Index().G
+	fixed, batches := s.fixer.Stats()
+	writeJSON(w, StatsResponse{
+		Vectors:      g.Len(),
+		Live:         g.Live(),
+		Dim:          g.Dim(),
+		Metric:       g.Metric.String(),
+		AvgDegree:    g.AvgDegree(),
+		SizeBytes:    g.SizeBytes(),
+		PendingFix:   s.fixer.Pending(),
+		FixedQueries: fixed,
+		FixBatches:   batches,
+	})
+}
+
+func (s *Server) checkVector(v []float32) error {
+	if len(v) == 0 {
+		return fmt.Errorf("vector is required")
+	}
+	if len(v) != s.fixer.Index().G.Dim() {
+		return fmt.Errorf("vector dim %d != index dim %d", len(v), s.fixer.Index().G.Dim())
+	}
+	return nil
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing useful left to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ngfix/internal/core"
+	"ngfix/internal/dataset"
+	"ngfix/internal/hnsw"
+	"ngfix/internal/vec"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.Generate(dataset.Config{
+		Name: "srv", N: 500, NHist: 100, NTest: 30,
+		Dim: 8, Clusters: 6, Metric: vec.L2,
+		GapMagnitude: 1.5, ClusterStd: 0.2, QueryStdScale: 1.5, Seed: 3,
+	})
+	h := hnsw.Build(d.Base, hnsw.Config{M: 8, EFConstruction: 60, Metric: vec.L2, Seed: 1})
+	ix := core.New(h.Bottom(), core.Options{Rounds: []core.Round{{K: 15}}, LEx: 24})
+	fixer := core.NewOnlineFixer(ix, core.OnlineConfig{BatchSize: 50, PrepEF: 80})
+	ts := httptest.NewServer(New(fixer))
+	t.Cleanup(ts.Close)
+	return ts, d
+}
+
+func post(t *testing.T, url string, body interface{}, out interface{}) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts, d := newTestServer(t)
+	var out SearchResponse
+	resp := post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.TestOOD.Row(0), K: 5, EF: 30}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Results) != 5 || out.NDC == 0 {
+		t.Fatalf("response %+v", out)
+	}
+	for i := 1; i < len(out.Results); i++ {
+		if out.Results[i].Dist < out.Results[i-1].Dist {
+			t.Fatal("results not ascending")
+		}
+	}
+	// Defaults apply when k/ef omitted.
+	resp = post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.TestOOD.Row(1)}, &out)
+	if resp.StatusCode != http.StatusOK || len(out.Results) != 10 {
+		t.Fatalf("default k: status %d results %d", resp.StatusCode, len(out.Results))
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Wrong dim.
+	resp := post(t, ts.URL+"/v1/search", SearchRequest{Vector: []float32{1, 2}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-dim status %d", resp.StatusCode)
+	}
+	// Missing vector.
+	resp = post(t, ts.URL+"/v1/search", SearchRequest{}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing-vector status %d", resp.StatusCode)
+	}
+	// GET not allowed.
+	getResp, err := http.Get(ts.URL + "/v1/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", getResp.StatusCode)
+	}
+	// Unknown fields rejected.
+	resp2, err := http.Post(ts.URL+"/v1/search", "application/json",
+		bytes.NewReader([]byte(`{"vector":[1],"bogus":true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-field status %d", resp2.StatusCode)
+	}
+}
+
+func TestInsertDeletePurgeFlow(t *testing.T) {
+	ts, d := newTestServer(t)
+	var ins InsertResponse
+	v := make([]float32, 8)
+	copy(v, d.TestOOD.Row(0))
+	resp := post(t, ts.URL+"/v1/insert", InsertRequest{Vector: v}, &ins)
+	if resp.StatusCode != http.StatusOK || ins.ID != 500 {
+		t.Fatalf("insert: status %d id %d", resp.StatusCode, ins.ID)
+	}
+	// New point is findable.
+	var sr SearchResponse
+	post(t, ts.URL+"/v1/search", SearchRequest{Vector: v, K: 1, EF: 30}, &sr)
+	if len(sr.Results) == 0 || sr.Results[0].ID != 500 {
+		t.Fatalf("inserted point not top-1: %+v", sr.Results)
+	}
+	// Delete it.
+	var del DeleteResponse
+	post(t, ts.URL+"/v1/delete", DeleteRequest{ID: 500}, &del)
+	if !del.Deleted {
+		t.Fatal("delete failed")
+	}
+	post(t, ts.URL+"/v1/delete", DeleteRequest{ID: 500}, &del)
+	if del.Deleted {
+		t.Fatal("double delete should report false")
+	}
+	resp = post(t, ts.URL+"/v1/delete", DeleteRequest{ID: 9999}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range delete status %d", resp.StatusCode)
+	}
+	// Purge removes it for good.
+	var pr PurgeResponse
+	post(t, ts.URL+"/v1/purge", PurgeRequest{K: 10, EF: 50}, &pr)
+	if pr.Purged != 1 {
+		t.Fatalf("purged %d, want 1", pr.Purged)
+	}
+	// Deleted point no longer returned.
+	post(t, ts.URL+"/v1/search", SearchRequest{Vector: v, K: 3, EF: 30}, &sr)
+	for _, h := range sr.Results {
+		if h.ID == 500 {
+			t.Fatal("purged point returned")
+		}
+	}
+}
+
+func TestFixAndStatsEndpoints(t *testing.T) {
+	ts, d := newTestServer(t)
+	// Serve some queries to populate the fix buffer.
+	for qi := 0; qi < 20; qi++ {
+		var sr SearchResponse
+		post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.History.Row(qi), K: 5, EF: 30}, &sr)
+	}
+	var st StatsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Vectors != 500 || st.PendingFix != 20 || st.Metric != "L2" {
+		t.Fatalf("stats %+v", st)
+	}
+	var fr FixResponse
+	post(t, ts.URL+"/v1/fix", struct{}{}, &fr)
+	if fr.Queries != 20 {
+		t.Fatalf("fixed %d, want 20", fr.Queries)
+	}
+	// Stats reflect the batch.
+	resp2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	json.NewDecoder(resp2.Body).Decode(&st)
+	if st.FixBatches != 1 || st.FixedQueries != 20 || st.PendingFix != 0 {
+		t.Fatalf("post-fix stats %+v", st)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}

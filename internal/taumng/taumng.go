@@ -1,0 +1,44 @@
+// Package taumng implements τ-MNG (Peng et al., "Efficient Approximate
+// Nearest Neighbor Search in Multi-dimensional Databases", SIGMOD 2023),
+// the approximation of the τ-monotonic graph used as a single-modal
+// baseline in the paper's Figure 11 — and the subject of the
+// title-collision noted in DESIGN.md.
+//
+// τ-MG relaxes MRNG's occlusion rule: an edge (u, v) is pruned only when a
+// kept neighbor w is more than 3τ closer to v than u is. The relaxation
+// guarantees greedy search finds the exact NN of any query within τ of the
+// base data. τ-MNG approximates τ-MG the same way NSG approximates MRNG,
+// so the build shares NSG's pipeline with the relaxed rule plugged in.
+package taumng
+
+import (
+	"ngfix/internal/graph"
+	"ngfix/internal/nsg"
+	"ngfix/internal/vec"
+)
+
+// Config holds τ-MNG build parameters.
+type Config struct {
+	// R, L, C are the NSG-style degree bound, search width and pool cap.
+	R, L, C int
+	// Tau is the monotonicity radius; queries within Tau of the base data
+	// get the exact-NN guarantee. Must be positive.
+	Tau float32
+	// Metric is the distance function.
+	Metric vec.Metric
+}
+
+// DefaultConfig mirrors the paper's τ-MNG settings at repository scale.
+func DefaultConfig(metric vec.Metric, tau float32) Config {
+	return Config{R: 32, L: 100, C: 300, Tau: tau, Metric: metric}
+}
+
+// Build constructs a τ-MNG over the vectors from a kNN graph.
+func Build(vectors *vec.Matrix, knn *graph.KNNGraph, cfg Config) *graph.Graph {
+	if cfg.Tau <= 0 {
+		panic("taumng: Tau must be positive (use nsg for tau=0)")
+	}
+	return nsg.Build(vectors, knn, nsg.Config{
+		R: cfg.R, L: cfg.L, C: cfg.C, Metric: cfg.Metric, Tau: cfg.Tau,
+	})
+}

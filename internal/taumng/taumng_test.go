@@ -1,0 +1,58 @@
+package taumng
+
+import (
+	"math/rand"
+	"testing"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/graph"
+	"ngfix/internal/metrics"
+	"ngfix/internal/vec"
+)
+
+func TestBuildAndSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := vec.NewMatrix(400, 6)
+	for i := 0; i < 400; i++ {
+		for j := 0; j < 6; j++ {
+			m.Row(i)[j] = float32(rng.NormFloat64())
+		}
+	}
+	knn := graph.BruteKNNGraph(m, vec.L2, 20)
+	g := Build(m, knn, Config{R: 12, L: 40, C: 100, Tau: 0.2, Metric: vec.L2})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid tau-MNG: %v", err)
+	}
+	queries := vec.NewMatrix(30, 6)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 6; j++ {
+			queries.Row(i)[j] = float32(rng.NormFloat64())
+		}
+	}
+	gt := bruteforce.AllKNN(m, queries, vec.L2, 10)
+	s := graph.NewSearcher(g)
+	var sum float64
+	for qi := 0; qi < 30; qi++ {
+		res, _ := s.Search(queries.Row(qi), 10, 80)
+		sum += metrics.Recall(graph.IDs(res), bruteforce.IDs(gt[qi]))
+	}
+	if avg := sum / 30; avg < 0.9 {
+		t.Fatalf("tau-MNG recall@10 = %.3f", avg)
+	}
+}
+
+func TestZeroTauPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for tau=0")
+		}
+	}()
+	Build(vec.NewMatrix(0, 2), &graph.KNNGraph{}, Config{R: 4, L: 8, C: 8, Tau: 0, Metric: vec.L2})
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(vec.Cosine, 0.1)
+	if cfg.Tau != 0.1 || cfg.Metric != vec.Cosine || cfg.R <= 0 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+}

@@ -1,0 +1,175 @@
+// Package vamana implements the Vamana graph of DiskANN (Subramanya et
+// al., NeurIPS 2019) and its OOD-aware variant RobustVamana (OOD-DiskANN,
+// Jaiswal et al. 2022), which the paper discusses as the first attempt at
+// query-distribution-aware graph construction: sample queries are inserted
+// into the graph as pure *navigators* — traversable but never returned —
+// bridging the modality gap at the cost of longer search paths. The
+// paper's critique (only small overall improvement) is reproducible here
+// against NGFix on the same workloads.
+package vamana
+
+import (
+	"math/rand"
+
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+// Config holds Vamana build parameters.
+type Config struct {
+	// R is the maximum out-degree.
+	R int
+	// L is the build-time search list size.
+	L int
+	// Alpha is the RobustPrune slack; the canonical schedule runs one pass
+	// with alpha=1 and a second with this value (typically 1.2).
+	Alpha float32
+	// Metric is the distance function.
+	Metric vec.Metric
+	// Seed drives the random initial graph and insertion order.
+	Seed int64
+}
+
+// DefaultConfig mirrors DiskANN's published parameter shape at this
+// repository's scales.
+func DefaultConfig(metric vec.Metric) Config {
+	return Config{R: 24, L: 60, Alpha: 1.2, Metric: metric, Seed: 11}
+}
+
+// Build constructs a Vamana graph over the vectors: a random R-regular
+// start, then two RobustPrune passes (alpha = 1, then cfg.Alpha) over a
+// random permutation, with degree-capped back-edges.
+func Build(vectors *vec.Matrix, cfg Config) *graph.Graph {
+	g := graph.New(vectors, cfg.Metric)
+	n := vectors.Rows()
+	if n == 0 {
+		return g
+	}
+	if cfg.Alpha < 1 {
+		cfg.Alpha = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Random initial graph.
+	for u := 0; u < n; u++ {
+		deg := cfg.R
+		if deg > n-1 {
+			deg = n - 1
+		}
+		seen := map[uint32]bool{uint32(u): true}
+		for len(g.BaseNeighbors(uint32(u))) < deg {
+			v := uint32(rng.Intn(n))
+			if !seen[v] {
+				seen[v] = true
+				g.AddBaseEdge(uint32(u), v)
+			}
+		}
+	}
+	g.EntryPoint = g.Medoid()
+
+	order := rng.Perm(n)
+	for _, alpha := range []float32{1, cfg.Alpha} {
+		pass(g, order, cfg, alpha)
+	}
+	return g
+}
+
+// pass runs one Vamana refinement sweep at the given alpha.
+func pass(g *graph.Graph, order []int, cfg Config, alpha float32) {
+	s := graph.NewSearcher(g)
+	s.CollectVisited = true
+	for _, u := range order {
+		uu := uint32(u)
+		uRow := g.Vectors.Row(u)
+		s.SearchFrom(uRow, cfg.L, cfg.L, g.EntryPoint)
+		// Candidate pool: the visited set plus current neighbors.
+		cands := make([]graph.Candidate, 0, len(s.Visited)+len(g.BaseNeighbors(uu)))
+		seen := map[uint32]bool{uu: true}
+		for _, v := range s.Visited {
+			if !seen[v.ID] {
+				seen[v.ID] = true
+				cands = append(cands, graph.Candidate{ID: v.ID, Dist: v.Dist})
+			}
+		}
+		for _, w := range g.BaseNeighbors(uu) {
+			if !seen[w] {
+				seen[w] = true
+				cands = append(cands, graph.Candidate{ID: w, Dist: cfg.Metric.Distance(uRow, g.Vectors.Row(int(w)))})
+			}
+		}
+		graph.SortCandidates(cands)
+		kept := RobustPrune(g.Vectors, cfg.Metric, cands, cfg.R, alpha)
+		nbrs := make([]uint32, len(kept))
+		for i, c := range kept {
+			nbrs[i] = c.ID
+		}
+		g.SetBaseNeighbors(uu, nbrs)
+		// Back edges with degree-capped re-pruning.
+		for _, c := range kept {
+			if !g.AddBaseEdge(c.ID, uu) {
+				continue
+			}
+			if len(g.BaseNeighbors(c.ID)) > cfg.R {
+				shrink(g, c.ID, cfg, alpha)
+			}
+		}
+	}
+}
+
+func shrink(g *graph.Graph, u uint32, cfg Config, alpha float32) {
+	uRow := g.Vectors.Row(int(u))
+	nbrs := g.BaseNeighbors(u)
+	cands := make([]graph.Candidate, len(nbrs))
+	for i, w := range nbrs {
+		cands[i] = graph.Candidate{ID: w, Dist: cfg.Metric.Distance(uRow, g.Vectors.Row(int(w)))}
+	}
+	graph.SortCandidates(cands)
+	kept := RobustPrune(g.Vectors, cfg.Metric, cands, cfg.R, alpha)
+	out := make([]uint32, len(kept))
+	for i, c := range kept {
+		out[i] = c.ID
+	}
+	g.SetBaseNeighbors(u, out)
+}
+
+// RobustPrune is DiskANN's occlusion rule with slack alpha: scanning
+// candidates in ascending distance, c is occluded by a kept neighbor s
+// when alpha·dist(s, c) ≤ dist(pivot, c). alpha = 1 reduces to the RNG
+// rule; larger alpha keeps longer edges, improving navigability.
+func RobustPrune(vectors *vec.Matrix, metric vec.Metric, candidates []graph.Candidate, maxDegree int, alpha float32) []graph.Candidate {
+	kept := make([]graph.Candidate, 0, maxDegree)
+	for _, c := range candidates {
+		if len(kept) >= maxDegree {
+			break
+		}
+		occluded := false
+		cRow := vectors.Row(int(c.ID))
+		for _, s := range kept {
+			if alpha*metric.Distance(vectors.Row(int(s.ID)), cRow) <= c.Dist {
+				occluded = true
+				break
+			}
+		}
+		if !occluded {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// BuildRobust constructs a RobustVamana graph: the base vectors plus the
+// sample queries are indexed together, and the query vertices are
+// tombstoned so they navigate but are never returned (the graph package's
+// lazy-delete semantics give exactly that behavior). The returned graph's
+// first base.Rows() ids are the base vectors.
+func BuildRobust(base, queries *vec.Matrix, cfg Config) *graph.Graph {
+	combined := base.Clone()
+	for i := 0; i < queries.Rows(); i++ {
+		combined.Append(queries.Row(i))
+	}
+	g := Build(combined, cfg)
+	for i := base.Rows(); i < combined.Rows(); i++ {
+		g.MarkDeleted(uint32(i))
+	}
+	return g
+}

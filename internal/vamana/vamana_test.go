@@ -1,0 +1,127 @@
+package vamana
+
+import (
+	"math/rand"
+	"testing"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/dataset"
+	"ngfix/internal/graph"
+	"ngfix/internal/metrics"
+	"ngfix/internal/vec"
+)
+
+func randomMatrix(seed int64, n, dim int) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < dim; j++ {
+			m.Row(i)[j] = float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestBuildStructure(t *testing.T) {
+	m := randomMatrix(1, 500, 8)
+	g := Build(m, Config{R: 12, L: 40, Alpha: 1.2, Metric: vec.L2, Seed: 1})
+	if g.Len() != 500 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.Len(); u++ {
+		if d := len(g.BaseNeighbors(uint32(u))); d > 12+1 {
+			t.Fatalf("vertex %d degree %d > R", u, d)
+		}
+	}
+}
+
+func TestSearchAccuracy(t *testing.T) {
+	m := randomMatrix(2, 800, 8)
+	g := Build(m, Config{R: 16, L: 60, Alpha: 1.2, Metric: vec.L2, Seed: 2})
+	queries := randomMatrix(3, 40, 8)
+	gt := bruteforce.AllKNN(m, queries, vec.L2, 10)
+	s := graph.NewSearcher(g)
+	var sum float64
+	for qi := 0; qi < 40; qi++ {
+		res, _ := s.Search(queries.Row(qi), 10, 80)
+		sum += metrics.Recall(graph.IDs(res), bruteforce.IDs(gt[qi]))
+	}
+	if avg := sum / 40; avg < 0.9 {
+		t.Fatalf("Vamana recall@10 = %.3f", avg)
+	}
+}
+
+func TestRobustPruneAlpha(t *testing.T) {
+	m := randomMatrix(4, 60, 4)
+	var cands []graph.Candidate
+	for i := 1; i < 60; i++ {
+		cands = append(cands, graph.Candidate{ID: uint32(i), Dist: vec.L2Squared(m.Row(0), m.Row(i))})
+	}
+	graph.SortCandidates(cands)
+	k1 := RobustPrune(m, vec.L2, cands, 64, 1)
+	k15 := RobustPrune(m, vec.L2, cands, 64, 1.5)
+	if len(k15) < len(k1) {
+		t.Fatalf("alpha=1.5 kept %d < alpha=1 kept %d; larger alpha must keep at least as many",
+			len(k15), len(k1))
+	}
+	// Degree cap respected.
+	if got := RobustPrune(m, vec.L2, cands, 3, 1.2); len(got) > 3 {
+		t.Fatalf("cap violated: %d", len(got))
+	}
+}
+
+func TestBuildEmptyAndTiny(t *testing.T) {
+	g := Build(vec.NewMatrix(0, 4), DefaultConfig(vec.L2))
+	if g.Len() != 0 {
+		t.Fatal("empty build")
+	}
+	g = Build(vec.MatrixFromRows([][]float32{{1, 2}}), DefaultConfig(vec.L2))
+	if g.Len() != 1 || len(g.BaseNeighbors(0)) != 0 {
+		t.Fatal("singleton build wrong")
+	}
+}
+
+// RobustVamana: query vertices navigate but are never returned, and they
+// must improve OOD recall over plain Vamana at the same budget.
+func TestBuildRobustNavigators(t *testing.T) {
+	d := dataset.Generate(dataset.Config{
+		Name: "vamana-test", N: 700, NHist: 250, NTest: 60,
+		Dim: 10, Clusters: 8, Metric: vec.L2,
+		GapMagnitude: 1.8, ClusterStd: 0.2, QueryStdScale: 1.6, Seed: 9,
+	})
+	cfg := Config{R: 16, L: 50, Alpha: 1.2, Metric: vec.L2, Seed: 3}
+	plain := Build(d.Base, cfg)
+	robust := BuildRobust(d.Base, d.History, cfg)
+	if robust.Len() != 700+250 || robust.Live() != 700 {
+		t.Fatalf("robust graph sizes: len=%d live=%d", robust.Len(), robust.Live())
+	}
+	if err := robust.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	gt := bruteforce.AllKNN(d.Base, d.TestOOD, vec.L2, 10)
+	recallOf := func(g *graph.Graph) float64 {
+		s := graph.NewSearcher(g)
+		var sum float64
+		for qi := 0; qi < d.TestOOD.Rows(); qi++ {
+			res, _ := s.Search(d.TestOOD.Row(qi), 10, 20)
+			for _, r := range res {
+				if r.ID >= 700 {
+					t.Fatal("navigator vertex returned as a result")
+				}
+			}
+			sum += metrics.Recall(graph.IDs(res), bruteforce.IDs(gt[qi]))
+		}
+		return sum / float64(d.TestOOD.Rows())
+	}
+	rPlain := recallOf(plain)
+	rRobust := recallOf(robust)
+	t.Logf("OOD recall@10 (ef=20): Vamana %.3f, RobustVamana %.3f", rPlain, rRobust)
+	if rRobust < rPlain-0.02 {
+		t.Fatalf("RobustVamana (%.3f) should not be clearly worse than Vamana (%.3f) on OOD",
+			rRobust, rPlain)
+	}
+}

@@ -1,0 +1,26 @@
+package vec
+
+// DistanceCounter wraps a Metric and counts how many distance evaluations
+// pass through it. The paper reports Number of Distance Calculations (NDC)
+// as an implementation-independent efficiency measure; every search path in
+// this repository threads its evaluations through a counter so NDC is exact.
+//
+// A DistanceCounter is not safe for concurrent use; searches that run in
+// parallel each own a counter and merge totals afterwards.
+type DistanceCounter struct {
+	Metric Metric
+	Count  int64
+}
+
+// Distance evaluates the wrapped metric and increments the counter.
+func (c *DistanceCounter) Distance(x, y []float32) float32 {
+	c.Count++
+	return c.Metric.Distance(x, y)
+}
+
+// Reset zeroes the counter and returns the previous value.
+func (c *DistanceCounter) Reset() int64 {
+	n := c.Count
+	c.Count = 0
+	return n
+}
