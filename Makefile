@@ -1,0 +1,27 @@
+GO ?= go
+
+# Packages with real concurrency (locks, goroutines, HTTP handlers) that
+# must stay clean under the race detector.
+RACE_PKGS = ./internal/core ./internal/server ./internal/persist
+
+.PHONY: check vet build test race bench
+
+## check: everything CI would run — vet, build, race-sensitive packages
+## under -race, then the full test suite (including the e2e server
+## shutdown/recovery test).
+check: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -6,85 +6,249 @@
 //
 //	ngfix-server -base base.ngfx -metric cosine -addr :8080 -autofix
 //	ngfix-server -index prebuilt.ngig -addr :8080
+//	ngfix-server -index prebuilt.ngig -snapshot-dir ./state   # durable
+//	ngfix-server -snapshot-dir ./state                        # recover & serve
 //
-// Endpoints: POST /v1/{search,insert,delete,fix,purge}, GET /v1/stats,
-// GET /healthz. See internal/server for the JSON shapes.
+// Endpoints: POST /v1/{search,insert,delete,fix,purge,snapshot},
+// GET /v1/stats, GET /healthz, GET /readyz. See internal/server for the
+// JSON shapes.
+//
+// With -snapshot-dir the server is crash-safe: it journals every insert,
+// delete, and fix batch to an op log, snapshots the graph on a cadence
+// (and on SIGTERM/SIGINT, after draining in-flight requests), and on
+// startup recovers the last acknowledged state from the newest snapshot
+// plus the log — including the extra edges learned from live traffic.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ngfix/internal/core"
 	"ngfix/internal/dataset"
 	"ngfix/internal/graph"
 	"ngfix/internal/hnsw"
+	"ngfix/internal/persist"
 	"ngfix/internal/server"
 	"ngfix/internal/vec"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	indexPath := flag.String("index", "", "prebuilt index file (from ngfix-build)")
-	basePath := flag.String("base", "", "base vectors file (builds an HNSW base graph at startup)")
-	metricName := flag.String("metric", "l2", "metric when building from -base: l2 | ip | cosine")
-	m := flag.Int("m", 16, "HNSW M when building from -base")
-	efc := flag.Int("efc", 200, "HNSW efConstruction when building from -base")
-	lex := flag.Int("lex", 48, "extra-degree budget for online fixing")
-	batch := flag.Int("fix-batch", 128, "queries per online fix batch")
-	sample := flag.Int("fix-sample", 1, "record every n-th query for fixing")
-	autofix := flag.Bool("autofix", false, "fix synchronously when the batch fills (otherwise POST /v1/fix or use -fix-interval)")
-	interval := flag.Duration("fix-interval", 0, "background fixing period (0 disables)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
 
-	var g *graph.Graph
-	switch {
-	case *indexPath != "":
+func run(args []string) int {
+	fl := flag.NewFlagSet("ngfix-server", flag.ExitOnError)
+	addr := fl.String("addr", ":8080", "listen address")
+	indexPath := fl.String("index", "", "prebuilt index file (from ngfix-build)")
+	basePath := fl.String("base", "", "base vectors file (builds an HNSW base graph at startup)")
+	metricName := fl.String("metric", "l2", "metric when building from -base: l2 | ip | cosine")
+	m := fl.Int("m", 16, "HNSW M when building from -base")
+	efc := fl.Int("efc", 200, "HNSW efConstruction when building from -base")
+	lex := fl.Int("lex", 48, "extra-degree budget for online fixing")
+	batch := fl.Int("fix-batch", 128, "queries per online fix batch")
+	sample := fl.Int("fix-sample", 1, "record every n-th query for fixing")
+	autofix := fl.Bool("autofix", false, "fix synchronously when the batch fills (otherwise POST /v1/fix or use -fix-interval)")
+	interval := fl.Duration("fix-interval", 0, "background fixing period (0 disables)")
+	snapDir := fl.String("snapshot-dir", "", "directory for snapshots + op log (enables crash safety and recovery)")
+	snapEvery := fl.Int("snapshot-every", 8, "automatic snapshot every N fix batches (0 disables; needs -snapshot-dir)")
+	snapOps := fl.Int("snapshot-ops", 4096, "automatic snapshot every M inserts+deletes (0 disables; needs -snapshot-dir)")
+	oplog := fl.Bool("oplog", true, "journal inserts/deletes/fix batches between snapshots (needs -snapshot-dir)")
+	drainTimeout := fl.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	fl.Parse(args)
+
+	// --- Index acquisition: recover from the snapshot dir when it has
+	// state, otherwise build/load and seed the dir.
+	var st *persist.Store
+	if *snapDir != "" {
 		var err error
-		g, err = graph.Load(*indexPath)
+		st, err = persist.Open(*snapDir, persist.Options{})
 		if err != nil {
-			log.Fatalf("load index: %v", err)
+			log.Printf("open snapshot dir: %v", err)
+			return 1
+		}
+	}
+
+	var ix *core.Index
+	opts := core.Options{LEx: *lex}
+	switch {
+	case st != nil && st.HasState():
+		g, err := st.Load()
+		if err != nil {
+			log.Printf("load snapshot: %v", err)
+			return 1
+		}
+		opts.PreserveEntry = true
+		ix = core.New(g, opts)
+		replayed, err := st.Replay(func(op persist.Op) error { return applyOp(ix, op) })
+		if err != nil {
+			log.Printf("replay op log: %v", err)
+			return 1
+		}
+		log.Printf("recovered index from %s: generation %d, %d vectors (%d live), %d ops replayed",
+			*snapDir, st.Generation(), g.Len(), g.Live(), replayed)
+	case *indexPath != "":
+		g, err := graph.Load(*indexPath)
+		if err != nil {
+			log.Printf("load index: %v", err)
+			return 1
 		}
 		log.Printf("loaded index: %d vectors, dim %d, metric %s", g.Len(), g.Dim(), g.Metric)
+		ix = core.New(g, opts)
 	case *basePath != "":
 		base, err := dataset.LoadMatrix(*basePath)
 		if err != nil {
-			log.Fatalf("load base: %v", err)
+			log.Printf("load base: %v", err)
+			return 1
 		}
 		metric, err := parseMetric(*metricName)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		start := time.Now()
-		g = hnsw.Build(base, hnsw.Config{M: *m, EFConstruction: *efc, Metric: metric, Seed: 7}).Bottom()
+		g := hnsw.Build(base, hnsw.Config{M: *m, EFConstruction: *efc, Metric: metric, Seed: 7}).Bottom()
 		log.Printf("built HNSW base over %d vectors in %s", base.Rows(), time.Since(start).Round(time.Millisecond))
+		ix = core.New(g, opts)
 	default:
-		log.Fatal("one of -index or -base is required")
+		log.Print("one of -index, -base, or a non-empty -snapshot-dir is required")
+		return 1
 	}
 
-	ix := core.New(g, core.Options{LEx: *lex})
+	// Seal startup state into a fresh generation: recovery never appends
+	// to a log that might end in a torn record, and a fresh dir gets its
+	// first durable snapshot before serving a single request.
+	var wal core.WAL
+	if st != nil {
+		if err := st.Snapshot(ix.G); err != nil {
+			log.Printf("initial snapshot: %v", err)
+			return 1
+		}
+		if *oplog {
+			wal = st
+		} else {
+			wal = snapshotOnly{st}
+			log.Print("op log disabled (-oplog=false): mutations between snapshots will not survive a crash")
+		}
+	}
+
 	fixer := core.NewOnlineFixer(ix, core.OnlineConfig{
 		BatchSize: *batch, SampleEvery: *sample, AutoFix: *autofix,
+		WAL:                  wal,
+		SnapshotEveryBatches: *snapEvery, SnapshotEveryMutations: *snapOps,
 	})
-	if *interval > 0 {
-		go func() {
-			for range time.Tick(*interval) {
-				if rep := fixer.FixPending(); rep.Queries > 0 {
-					log.Printf("online fix: %d queries, +%d edges", rep.Queries, rep.NGFixEdges+rep.RFixEdges)
-				}
-			}
-		}()
+
+	s := server.New(fixer)
+	if st != nil {
+		s.SnapshotFunc = fixer.Snapshot
 	}
 
-	log.Printf("serving on %s (fix batch %d, autofix %v, interval %s)", *addr, *batch, *autofix, *interval)
-	if err := http.ListenAndServe(*addr, server.New(fixer)); err != nil {
-		log.Fatal(err)
+	// --- Lifecycle: configured http.Server, signal-driven graceful
+	// shutdown, context-stopped background fixer.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *interval > 0 {
+		go fixer.RunBackground(ctx, *interval, log.Printf)
 	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("listen: %v", err)
+		return 1
+	}
+	log.Printf("serving on %s (fix batch %d, autofix %v, interval %s, snapshots %v)",
+		ln.Addr(), *batch, *autofix, *interval, st != nil)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	s.SetReady(true)
+
+	select {
+	case err := <-errCh:
+		log.Printf("serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	// Drain: stop advertising readiness, finish in-flight requests.
+	log.Printf("shutdown signal received, draining (timeout %s)", *drainTimeout)
+	s.StartDrain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+
+	// Fold any still-pending recorded queries into the graph, then make
+	// the final state durable.
+	if rep := fixer.FixPending(); rep.Queries > 0 {
+		log.Printf("final fix: %d queries, +%d edges", rep.Queries, rep.NGFixEdges+rep.RFixEdges)
+	}
+	if st != nil {
+		if err := fixer.Snapshot(); err != nil {
+			log.Printf("final snapshot: %v", err)
+			return 1
+		}
+		if err := st.Close(); err != nil {
+			log.Printf("close store: %v", err)
+			return 1
+		}
+		log.Printf("final snapshot written (generation %d)", st.Generation())
+	}
+	log.Print("shutdown complete")
+	return 0
 }
+
+// applyOp replays one op-log record onto the index, mirroring what the
+// fixer did live: inserts re-run base-graph insertion, deletes re-mark
+// tombstones, fix batches re-apply the exact extra-adjacency
+// replacements.
+func applyOp(ix *core.Index, op persist.Op) error {
+	switch op.Kind {
+	case persist.OpInsert:
+		if len(op.Vector) != ix.G.Dim() {
+			return fmt.Errorf("replay insert: dim %d != index dim %d", len(op.Vector), ix.G.Dim())
+		}
+		ix.Insert(op.Vector)
+		return nil
+	case persist.OpDelete:
+		if int(op.ID) >= ix.G.Len() {
+			return fmt.Errorf("replay delete: id %d out of range", op.ID)
+		}
+		ix.Delete(op.ID)
+		return nil
+	case persist.OpFixEdges:
+		return ix.ApplyExtraUpdates(op.Updates)
+	}
+	return fmt.Errorf("replay: unknown op kind %d", op.Kind)
+}
+
+// snapshotOnly is the -oplog=false durability mode: snapshots still run
+// on their cadence, per-op journaling is dropped.
+type snapshotOnly struct{ st *persist.Store }
+
+func (snapshotOnly) LogInsert(v []float32) error                   { return nil }
+func (snapshotOnly) LogDelete(id uint32) error                     { return nil }
+func (snapshotOnly) LogFixEdges(updates []graph.ExtraUpdate) error { return nil }
+func (s snapshotOnly) Snapshot(g *graph.Graph) error               { return s.st.Snapshot(g) }
 
 func parseMetric(s string) (vec.Metric, error) {
 	switch strings.ToLower(s) {

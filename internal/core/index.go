@@ -44,6 +44,10 @@ type Options struct {
 	// InsertM / InsertEF parameterize HNSW-style base-graph insertion for
 	// maintenance (defaults 16 / 200).
 	InsertM, InsertEF int
+	// PreserveEntry keeps the graph's existing entry point instead of
+	// re-pinning it to the medoid. Recovery paths set this so a restored
+	// index searches from the same entry the snapshot was taken with.
+	PreserveEntry bool
 }
 
 func (o Options) withDefaults() Options {
@@ -87,7 +91,7 @@ type Index struct {
 // medoid, the fixed entry of §5.4.
 func New(g *graph.Graph, opts Options) *Index {
 	o := opts.withDefaults()
-	if g.Len() > 0 {
+	if g.Len() > 0 && !o.PreserveEntry {
 		g.EntryPoint = g.Medoid()
 	}
 	return &Index{

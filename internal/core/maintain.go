@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"ngfix/internal/bruteforce"
@@ -38,6 +39,25 @@ func (ix *Index) PartialRebuild(removeFrac float64, queries *vec.Matrix, truth [
 // Delete lazily removes id: it stays navigable but is excluded from
 // results. Returns false if it was already deleted.
 func (ix *Index) Delete(id uint32) bool { return ix.G.MarkDeleted(id) }
+
+// ApplyExtraUpdates replays journaled extra-adjacency replacements (the
+// op log's fix-batch records) onto the graph. Edges are copied, so the
+// caller may keep the updates.
+func (ix *Index) ApplyExtraUpdates(updates []graph.ExtraUpdate) error {
+	n := uint32(ix.G.Len())
+	for _, up := range updates {
+		if up.U >= n {
+			return fmt.Errorf("core: extra update for out-of-range vertex %d (graph has %d)", up.U, n)
+		}
+		for _, e := range up.Edges {
+			if e.To >= n {
+				return fmt.Errorf("core: extra update %d→%d out of range (graph has %d)", up.U, e.To, n)
+			}
+		}
+		ix.G.SetExtraNeighbors(up.U, append([]graph.ExtraEdge(nil), up.Edges...))
+	}
+	return nil
+}
 
 // DeletedFraction returns the share of vertices currently tombstoned.
 func (ix *Index) DeletedFraction() float64 {

@@ -1,7 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"ngfix/internal/graph"
 	"ngfix/internal/vec"
@@ -17,6 +22,12 @@ import (
 // write lock, so reads see either the old or the repaired graph, never a
 // partial mutation. This is exactly the MainSearch deployment story from
 // §6.2: the index keeps adapting to the live workload without rebuilds.
+//
+// When a WAL is configured, every acknowledged mutation is journaled
+// before the call returns — inserts and deletes logically, fix batches as
+// the exact extra-adjacency replacements they performed — and the fixer
+// triggers full snapshots on the configured cadence, so a crash loses
+// neither the base graph nor the edges learned from live traffic.
 type OnlineFixer struct {
 	mu sync.RWMutex
 	ix *Index
@@ -29,11 +40,40 @@ type OnlineFixer struct {
 	prepEF    int
 	truthK    int
 
+	wal          WAL
+	snapBatches  int // snapshot every N fix batches (0 = never)
+	snapMuts     int // snapshot every M inserts+deletes (0 = never)
+	sinceBatches int
+	sinceMuts    int
+
 	totalFixed   int
 	totalBatches int
+	shed         int
+	walErrs      int
+	lastWALErr   error
 
 	searchers sync.Pool
 }
+
+// WAL is the durability sink the fixer writes through (implemented by
+// internal/persist.Store). Every method is invoked while the fixer holds
+// its write lock, so implementations observe a quiescent graph and a log
+// order identical to the apply order.
+type WAL interface {
+	// LogInsert journals an appended base vector.
+	LogInsert(v []float32) error
+	// LogDelete journals a tombstone.
+	LogDelete(id uint32) error
+	// LogFixEdges journals the extra-adjacency replacements a fix batch
+	// performed.
+	LogFixEdges(updates []graph.ExtraUpdate) error
+	// Snapshot durably persists the whole graph and resets the log.
+	Snapshot(g *graph.Graph) error
+}
+
+// ErrNoWAL is returned by Snapshot when the fixer was built without a
+// durability sink.
+var ErrNoWAL = errors.New("core: online fixer has no WAL configured")
 
 // OnlineConfig controls an OnlineFixer.
 type OnlineConfig struct {
@@ -52,6 +92,15 @@ type OnlineConfig struct {
 	// TruthK is how many neighbors preprocessing collects (default 64,
 	// enough for the default two-round schedule).
 	TruthK int
+	// WAL, when non-nil, receives every durable mutation and snapshot.
+	WAL WAL
+	// SnapshotEveryBatches triggers an automatic WAL snapshot after this
+	// many fix batches (0 disables batch-triggered snapshots).
+	SnapshotEveryBatches int
+	// SnapshotEveryMutations triggers an automatic WAL snapshot after
+	// this many inserts+deletes (0 disables mutation-triggered
+	// snapshots).
+	SnapshotEveryMutations int
 }
 
 // NewOnlineFixer wraps ix. The wrapped index must not be used directly
@@ -70,20 +119,25 @@ func NewOnlineFixer(ix *Index, cfg OnlineConfig) *OnlineFixer {
 		cfg.TruthK = 64
 	}
 	o := &OnlineFixer{
-		ix:        ix,
-		pending:   vec.NewMatrix(0, ix.G.Dim()),
-		batchSize: cfg.BatchSize,
-		sampleN:   cfg.SampleEvery,
-		autoFix:   cfg.AutoFix,
-		prepEF:    cfg.PrepEF,
-		truthK:    cfg.TruthK,
+		ix:          ix,
+		pending:     vec.NewMatrix(0, ix.G.Dim()),
+		batchSize:   cfg.BatchSize,
+		sampleN:     cfg.SampleEvery,
+		autoFix:     cfg.AutoFix,
+		prepEF:      cfg.PrepEF,
+		truthK:      cfg.TruthK,
+		wal:         cfg.WAL,
+		snapBatches: cfg.SnapshotEveryBatches,
+		snapMuts:    cfg.SnapshotEveryMutations,
 	}
 	o.searchers.New = func() interface{} { return graph.NewSearcher(ix.G) }
 	return o
 }
 
 // Search serves one query (top-k, search list ef) and records it for a
-// future fix batch. Safe for concurrent use.
+// future fix batch. When the recording buffer is full, the oldest
+// recorded query is shed to make room — the freshest traffic is the most
+// valuable repair signal. Safe for concurrent use.
 func (o *OnlineFixer) Search(q []float32, k, ef int) ([]graph.Result, graph.Stats) {
 	o.mu.RLock()
 	s := o.searchers.Get().(*graph.Searcher)
@@ -93,7 +147,11 @@ func (o *OnlineFixer) Search(q []float32, k, ef int) ([]graph.Result, graph.Stat
 
 	o.mu.Lock()
 	o.counter++
-	if o.counter%o.sampleN == 0 && o.pending.Rows() < o.batchSize {
+	if o.counter%o.sampleN == 0 {
+		if o.pending.Rows() >= o.batchSize {
+			o.pending.DropFront(o.pending.Rows() - o.batchSize + 1)
+			o.shed++
+		}
 		o.pending.Append(q)
 	}
 	runNow := o.autoFix && o.pending.Rows() >= o.batchSize
@@ -111,23 +169,67 @@ func (o *OnlineFixer) Pending() int {
 	return o.pending.Rows()
 }
 
-// Stats returns totals: queries fixed with and batches run.
+// Stats returns totals: queries fixed and batches run.
 func (o *OnlineFixer) Stats() (fixedQueries, batches int) {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	return o.totalFixed, o.totalBatches
 }
 
+// OnlineStats is a consistent snapshot of the fixer's counters.
+// FixedQueries and FixBatches are monotonically non-decreasing over the
+// fixer's lifetime.
+type OnlineStats struct {
+	Pending      int
+	FixedQueries int
+	FixBatches   int
+	// ShedQueries counts recorded queries dropped oldest-first because
+	// the buffer was full when a fresher query arrived.
+	ShedQueries int
+	// WALErrors counts durability failures the fixer absorbed (serving
+	// continued); LastWALError describes the most recent one.
+	WALErrors    int
+	LastWALError string
+}
+
+// OnlineStats returns the fixer's counters under one lock acquisition.
+func (o *OnlineFixer) OnlineStats() OnlineStats {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	st := OnlineStats{
+		Pending:      o.pending.Rows(),
+		FixedQueries: o.totalFixed,
+		FixBatches:   o.totalBatches,
+		ShedQueries:  o.shed,
+		WALErrors:    o.walErrs,
+	}
+	if o.lastWALErr != nil {
+		st.LastWALError = o.lastWALErr.Error()
+	}
+	return st
+}
+
 // FixPending drains the recorded queries and repairs the graph with them.
 // Preprocessing (approximate truth) runs under the read lock so searches
 // continue; the graph mutation itself takes the write lock. It returns
-// the fix report (zero-value when there was nothing to do).
+// the fix report (zero-value when there was nothing to do). Durability
+// errors are absorbed into the WAL counters; use FixPendingChecked to
+// observe them.
 func (o *OnlineFixer) FixPending() FixReport {
+	rep, _ := o.FixPendingChecked()
+	return rep
+}
+
+// FixPendingChecked is FixPending with the durability error surfaced: the
+// graph repair itself either fully applies or panics, but journaling the
+// batch can fail independently, and background loops want to know so they
+// can back off and retry.
+func (o *OnlineFixer) FixPendingChecked() (FixReport, error) {
 	o.mu.Lock()
 	batch := o.pending
 	if batch.Rows() == 0 {
 		o.mu.Unlock()
-		return FixReport{}
+		return FixReport{}, nil
 	}
 	o.pending = vec.NewMatrix(0, o.ix.G.Dim())
 	o.mu.Unlock()
@@ -138,38 +240,189 @@ func (o *OnlineFixer) FixPending() FixReport {
 	o.mu.RUnlock()
 
 	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.wal != nil {
+		o.ix.G.TrackExtraMutations()
+	}
 	rep := o.ix.Fix(batch, truth)
 	o.totalFixed += batch.Rows()
 	o.totalBatches++
 	// Graph structure changed: drop pooled searchers bound to stale sizes.
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
-	o.mu.Unlock()
-	return rep
+	var err error
+	if o.wal != nil {
+		dirty := o.ix.G.TakeExtraMutations()
+		if len(dirty) > 0 {
+			updates := make([]graph.ExtraUpdate, len(dirty))
+			for i, u := range dirty {
+				updates[i] = graph.ExtraUpdate{
+					U:     u,
+					Edges: append([]graph.ExtraEdge(nil), o.ix.G.ExtraNeighbors(u)...),
+				}
+			}
+			err = o.wal.LogFixEdges(updates)
+			o.noteWALErr(err)
+		}
+		o.sinceBatches++
+		o.maybeSnapshotLocked()
+	}
+	return rep, err
 }
 
-// Insert adds a base vector (write lock).
+// Insert adds a base vector (write lock) and journals it.
 func (o *OnlineFixer) Insert(v []float32) uint32 {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	id := o.ix.Insert(v)
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
+	if o.wal != nil {
+		o.noteWALErr(o.wal.LogInsert(v))
+		o.sinceMuts++
+		o.maybeSnapshotLocked()
+	}
 	return id
 }
 
-// Delete tombstones a vector (write lock).
+// Delete tombstones a vector (write lock) and journals it.
 func (o *OnlineFixer) Delete(id uint32) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.ix.Delete(id)
+	changed := o.ix.Delete(id)
+	if changed && o.wal != nil {
+		o.noteWALErr(o.wal.LogDelete(id))
+		o.sinceMuts++
+		o.maybeSnapshotLocked()
+	}
+	return changed
 }
 
-// PurgeAndRepair unlinks tombstones and repairs holes (write lock).
+// PurgeAndRepair unlinks tombstones and repairs holes (write lock). A
+// purge rewrites base edges, which the op log does not record, so it is
+// followed by a barrier snapshot when a WAL is configured; if that
+// snapshot fails, recovery falls back to the pre-purge (tombstoned but
+// consistent) state.
 func (o *OnlineFixer) PurgeAndRepair(k, efTruth int) PurgeReport {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	rep := o.ix.PurgeAndRepair(k, efTruth)
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
+	if o.wal != nil && rep.Purged > 0 {
+		o.snapshotLocked()
+	}
 	return rep
+}
+
+// Snapshot forces a durable snapshot of the current graph through the
+// WAL (POST /v1/snapshot and graceful shutdown use this). It returns
+// ErrNoWAL when the fixer has no durability sink.
+func (o *OnlineFixer) Snapshot() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.snapshotLocked()
+}
+
+func (o *OnlineFixer) snapshotLocked() error {
+	if o.wal == nil {
+		return ErrNoWAL
+	}
+	if err := o.wal.Snapshot(o.ix.G); err != nil {
+		o.noteWALErr(err)
+		return err
+	}
+	o.sinceBatches, o.sinceMuts = 0, 0
+	return nil
+}
+
+func (o *OnlineFixer) maybeSnapshotLocked() {
+	trigger := (o.snapBatches > 0 && o.sinceBatches >= o.snapBatches) ||
+		(o.snapMuts > 0 && o.sinceMuts >= o.snapMuts)
+	if trigger {
+		o.snapshotLocked() // failure already recorded in the counters
+	}
+}
+
+func (o *OnlineFixer) noteWALErr(err error) {
+	if err != nil {
+		o.walErrs++
+		o.lastWALErr = err
+	}
+}
+
+// RunBackground drains and fixes recorded queries every interval until
+// ctx is cancelled. A failed batch — a panic inside the fix, or a
+// durability error — does not kill the loop: it retries with exponential
+// backoff plus jitter, and returns to the regular cadence after the
+// first success. logf (nil to discard) receives progress and failure
+// lines. This replaces the bare time.Tick loop, which leaked its ticker
+// and died with its goroutine on the first panic.
+func (o *OnlineFixer) RunBackground(ctx context.Context, interval time.Duration, logf func(format string, args ...interface{})) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	fails := 0
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		rep, err := o.fixSafely()
+		if err != nil {
+			fails++
+			d := BackoffDelay(interval, fails, rng.Float64())
+			logf("online fix failed (attempt %d, retrying in %s): %v", fails, d.Round(time.Millisecond), err)
+			timer.Reset(d)
+			continue
+		}
+		if fails > 0 {
+			logf("online fix recovered after %d failed attempt(s)", fails)
+			fails = 0
+		}
+		if rep.Queries > 0 {
+			logf("online fix: %d queries, +%d edges", rep.Queries, rep.NGFixEdges+rep.RFixEdges)
+		}
+		timer.Reset(interval)
+	}
+}
+
+// fixSafely converts a panicking fix batch into an error so the
+// background loop degrades instead of crashing the process.
+func (o *OnlineFixer) fixSafely() (rep FixReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fix batch panicked: %v", r)
+		}
+	}()
+	return o.FixPendingChecked()
+}
+
+// BackoffDelay returns the retry delay after `fails` consecutive
+// failures: base doubling per failure, capped at 32×base and one minute,
+// with ±25% jitter driven by u in [0,1) so a fleet of retriers does not
+// thundering-herd a recovering disk.
+func BackoffDelay(base time.Duration, fails int, u float64) time.Duration {
+	if base <= 0 {
+		base = time.Second
+	}
+	shift := fails - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 5 {
+		shift = 5
+	}
+	d := base << uint(shift)
+	if d > time.Minute {
+		d = time.Minute
+	}
+	jitter := 0.75 + 0.5*u
+	return time.Duration(float64(d) * jitter)
 }
 
 // Index exposes the wrapped index for read-only inspection. Callers must

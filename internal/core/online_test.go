@@ -1,8 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"ngfix/internal/bruteforce"
 	"ngfix/internal/graph"
@@ -135,5 +140,250 @@ func TestOnlineFixerConcurrency(t *testing.T) {
 	}
 	if err := o.Index().G.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A full recording buffer sheds the oldest query, not the newest: the
+// freshest traffic is the most valuable repair signal.
+func TestOnlineFixerShedsOldest(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 15}}, LEx: 32})
+	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 4})
+
+	for qi := 0; qi < 6; qi++ {
+		o.Search(d.History.Row(qi), 5, 15)
+	}
+	st := o.OnlineStats()
+	if st.Pending != 4 {
+		t.Fatalf("Pending = %d, want 4", st.Pending)
+	}
+	if st.ShedQueries != 2 {
+		t.Fatalf("ShedQueries = %d, want 2", st.ShedQueries)
+	}
+	// Queries 0 and 1 were shed; the buffer should start at query 2.
+	want := d.History.Row(2)
+	got := o.pending.Row(0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("oldest retained query is not query 2 (dim %d: %v != %v)", i, got[i], want[i])
+		}
+	}
+}
+
+// recordingWAL captures the fixer's durability calls for inspection and
+// can be told to fail.
+type recordingWAL struct {
+	mu        sync.Mutex
+	inserts   [][]float32
+	deletes   []uint32
+	fixes     [][]graph.ExtraUpdate
+	snapshots int
+	fail      error
+}
+
+func (w *recordingWAL) LogInsert(v []float32) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fail != nil {
+		return w.fail
+	}
+	w.inserts = append(w.inserts, append([]float32(nil), v...))
+	return nil
+}
+
+func (w *recordingWAL) LogDelete(id uint32) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fail != nil {
+		return w.fail
+	}
+	w.deletes = append(w.deletes, id)
+	return nil
+}
+
+func (w *recordingWAL) LogFixEdges(updates []graph.ExtraUpdate) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fail != nil {
+		return w.fail
+	}
+	w.fixes = append(w.fixes, updates)
+	return nil
+}
+
+func (w *recordingWAL) Snapshot(g *graph.Graph) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fail != nil {
+		return w.fail
+	}
+	w.snapshots++
+	return nil
+}
+
+func (w *recordingWAL) counts() (ins, del, fix, snaps int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.inserts), len(w.deletes), len(w.fixes), w.snapshots
+}
+
+// Every durable mutation must reach the WAL, and the snapshot cadences
+// must fire: per fix batch, and as a barrier after a purge.
+func TestOnlineFixerJournalsToWAL(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 15}}, LEx: 32})
+	wal := &recordingWAL{}
+	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 20, WAL: wal, SnapshotEveryBatches: 1})
+
+	v := append([]float32(nil), d.History.Row(0)...)
+	o.Insert(v)
+	if !o.Delete(5) {
+		t.Fatal("delete failed")
+	}
+	if o.Delete(5) {
+		t.Fatal("double delete reported a change")
+	}
+	for qi := 0; qi < 20; qi++ {
+		o.Search(d.History.Row(qi), 10, 15)
+	}
+	rep := o.FixPending()
+	if rep.NGFixEdges+rep.RFixEdges == 0 {
+		t.Fatal("fix batch added no edges; workload too easy to test journaling")
+	}
+
+	ins, del, fix, snaps := wal.counts()
+	if ins != 1 || wal.inserts[0][0] != v[0] {
+		t.Fatalf("inserts journaled: %d, want 1 with matching vector", ins)
+	}
+	if del != 1 || wal.deletes[0] != 5 {
+		t.Fatalf("deletes journaled: %v, want [5]", wal.deletes)
+	}
+	if fix != 1 || len(wal.fixes[0]) == 0 {
+		t.Fatalf("fix batches journaled: %d (updates %d), want 1 non-empty", fix, len(wal.fixes[0]))
+	}
+	// The journaled updates must mirror the live extra adjacency exactly.
+	for _, up := range wal.fixes[0] {
+		live := ix.G.ExtraNeighbors(up.U)
+		if len(live) != len(up.Edges) {
+			t.Fatalf("vertex %d journaled %d extra edges, live has %d", up.U, len(up.Edges), len(live))
+		}
+		for i := range live {
+			if live[i] != up.Edges[i] {
+				t.Fatalf("vertex %d edge %d: journaled %v, live %v", up.U, i, up.Edges[i], live[i])
+			}
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("snapshots after one fix batch: %d, want 1 (SnapshotEveryBatches=1)", snaps)
+	}
+
+	// A purge rewrites base edges, which the log cannot express, so it
+	// must be followed by a barrier snapshot.
+	if prep := o.PurgeAndRepair(10, 60); prep.Purged == 0 {
+		t.Fatal("purge removed nothing")
+	}
+	if _, _, _, snaps = wal.counts(); snaps != 2 {
+		t.Fatalf("snapshots after purge: %d, want 2", snaps)
+	}
+	if st := o.OnlineStats(); st.WALErrors != 0 {
+		t.Fatalf("healthy WAL recorded errors: %+v", st)
+	}
+
+	// WAL failures are absorbed, not propagated to serving.
+	wal.fail = errTestWAL
+	o.Insert(v)
+	if !o.Delete(7) {
+		t.Fatal("delete refused while WAL failing")
+	}
+	st := o.OnlineStats()
+	if st.WALErrors != 2 || st.LastWALError == "" {
+		t.Fatalf("WAL failures not counted: %+v", st)
+	}
+}
+
+var errTestWAL = errors.New("wal sink unavailable")
+
+func TestBackoffDelay(t *testing.T) {
+	base := 100 * time.Millisecond
+	mid := func(fails int) time.Duration { return BackoffDelay(base, fails, 0.5) }
+	if d := mid(1); d != base {
+		t.Fatalf("first retry %s, want %s", d, base)
+	}
+	if d := mid(3); d != 4*base {
+		t.Fatalf("third retry %s, want %s", d, 4*base)
+	}
+	if d := mid(10); d != 32*base {
+		t.Fatalf("deep retry %s, want cap %s", d, 32*base)
+	}
+	// One-minute ceiling regardless of base.
+	if d := BackoffDelay(10*time.Second, 6, 0.5); d != time.Minute {
+		t.Fatalf("long-base retry %s, want 1m ceiling", d)
+	}
+	// Jitter spans [0.75, 1.25)×.
+	if d := BackoffDelay(base, 1, 0); d != 75*time.Millisecond {
+		t.Fatalf("u=0 jitter %s, want 75ms", d)
+	}
+	if d := BackoffDelay(base, 1, 0.999); d >= 125*time.Millisecond || d <= base {
+		t.Fatalf("u→1 jitter %s, want just under 125ms", d)
+	}
+	if d := BackoffDelay(0, 1, 0.5); d != time.Second {
+		t.Fatalf("zero base %s, want 1s default", d)
+	}
+}
+
+// The background loop must survive a failing fix attempt: back off, log,
+// retry, and report recovery — not die like the old time.Tick goroutine.
+func TestRunBackgroundRetriesAfterFailure(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 15}}, LEx: 32})
+	wal := &recordingWAL{fail: errTestWAL}
+	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 10, WAL: wal})
+
+	for qi := 0; qi < 10; qi++ {
+		o.Search(d.History.Row(qi), 5, 15)
+	}
+
+	var logMu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...interface{}) {
+		logMu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		o.RunBackground(ctx, 2*time.Millisecond, logf)
+		close(done)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	seen := func(substr string) bool {
+		logMu.Lock()
+		defer logMu.Unlock()
+		for _, l := range lines {
+			if strings.Contains(l, substr) {
+				return true
+			}
+		}
+		return false
+	}
+	for !(seen("online fix failed") && seen("recovered")) {
+		if time.Now().After(deadline) {
+			logMu.Lock()
+			t.Fatalf("backoff/recovery never logged; lines: %q", lines)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	// The batch itself was applied (repair is not rolled back when only
+	// journaling fails) and the failure is on the counters.
+	if fixed, batches := o.Stats(); fixed != 10 || batches != 1 {
+		t.Fatalf("Stats = %d,%d, want 10,1", fixed, batches)
+	}
+	if st := o.OnlineStats(); st.WALErrors == 0 {
+		t.Fatal("WAL failure not counted")
 	}
 }

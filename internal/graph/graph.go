@@ -10,6 +10,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"ngfix/internal/vec"
 )
@@ -26,6 +27,15 @@ type ExtraEdge struct {
 	EH uint16
 }
 
+// ExtraUpdate is a full replacement of one vertex's extra out-edges. It is
+// the physical unit the serving layer journals after a fix batch: replaying
+// SetExtraNeighbors(U, Edges) reproduces additions, EH raises, and budget
+// evictions exactly, regardless of the graph's prior extra adjacency.
+type ExtraUpdate struct {
+	U     uint32
+	Edges []ExtraEdge
+}
+
 // Graph is a directed graph index over the rows of a vector matrix.
 // Out-edges are split into a base segment (built by HNSW/NSG/...) and an
 // extra segment (added by the fixing algorithms); searches traverse both.
@@ -40,6 +50,10 @@ type Graph struct {
 	extra   [][]ExtraEdge
 	deleted []bool
 	nDel    int
+
+	// extraDirty, while non-nil, accumulates the ids of vertices whose
+	// extra adjacency changed. See TrackExtraMutations.
+	extraDirty map[uint32]struct{}
 
 	// EntryPoint is the default search entry. The fixing algorithms pin it
 	// to the medoid (nearest base point to the centroid), per §5.4.
@@ -127,12 +141,14 @@ func (g *Graph) AddExtraEdge(u, v uint32, eh uint16) bool {
 		if g.extra[u][i].To == v {
 			if g.extra[u][i].EH < eh {
 				g.extra[u][i].EH = eh
+				g.markExtraDirty(u)
 				return true
 			}
 			return false
 		}
 	}
 	g.extra[u] = append(g.extra[u], ExtraEdge{To: v, EH: eh})
+	g.markExtraDirty(u)
 	return true
 }
 
@@ -141,6 +157,7 @@ func (g *Graph) RemoveExtraEdge(u, v uint32) bool {
 	for i, e := range g.extra[u] {
 		if e.To == v {
 			g.extra[u] = append(g.extra[u][:i], g.extra[u][i+1:]...)
+			g.markExtraDirty(u)
 			return true
 		}
 	}
@@ -148,7 +165,41 @@ func (g *Graph) RemoveExtraEdge(u, v uint32) bool {
 }
 
 // SetExtraNeighbors replaces the extra out-edges of u.
-func (g *Graph) SetExtraNeighbors(u uint32, edges []ExtraEdge) { g.extra[u] = edges }
+func (g *Graph) SetExtraNeighbors(u uint32, edges []ExtraEdge) {
+	g.extra[u] = edges
+	g.markExtraDirty(u)
+}
+
+func (g *Graph) markExtraDirty(u uint32) {
+	if g.extraDirty != nil {
+		g.extraDirty[u] = struct{}{}
+	}
+}
+
+// TrackExtraMutations starts recording which vertices have their extra
+// adjacency mutated (by AddExtraEdge, RemoveExtraEdge, or
+// SetExtraNeighbors). The serving layer brackets a fix batch with
+// TrackExtraMutations/TakeExtraMutations to journal exactly the vertices
+// the batch touched. Tracking is not safe for concurrent writers — but
+// neither is any graph mutation.
+func (g *Graph) TrackExtraMutations() {
+	g.extraDirty = make(map[uint32]struct{})
+}
+
+// TakeExtraMutations stops tracking and returns the mutated vertex ids in
+// ascending order. It returns nil when tracking was never started.
+func (g *Graph) TakeExtraMutations() []uint32 {
+	if g.extraDirty == nil {
+		return nil
+	}
+	ids := make([]uint32, 0, len(g.extraDirty))
+	for u := range g.extraDirty {
+		ids = append(ids, u)
+	}
+	g.extraDirty = nil
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
 
 // ExtraDegree returns the number of extra out-edges of u.
 func (g *Graph) ExtraDegree(u uint32) int { return len(g.extra[u]) }

@@ -431,3 +431,30 @@ func TestAvgDegree(t *testing.T) {
 		t.Fatalf("AvgDegree after delete = %v, want 1", got)
 	}
 }
+
+func TestTrackExtraMutations(t *testing.T) {
+	g := New(gridVectors(t, 6), vec.L2)
+	g.AddExtraEdge(5, 4, 1) // before tracking: not recorded
+	g.TrackExtraMutations()
+	g.AddExtraEdge(0, 1, 3)
+	g.AddExtraEdge(0, 1, 2) // no change: lower EH
+	g.AddExtraEdge(0, 1, 7) // EH raise counts as a change
+	g.AddExtraEdge(2, 3, 1)
+	g.RemoveExtraEdge(2, 3)
+	g.RemoveExtraEdge(4, 0) // absent edge: no change
+	g.SetExtraNeighbors(3, nil)
+	dirty := g.TakeExtraMutations()
+	want := []uint32{0, 2, 3}
+	if len(dirty) != len(want) {
+		t.Fatalf("dirty = %v, want %v", dirty, want)
+	}
+	for i := range want {
+		if dirty[i] != want[i] {
+			t.Fatalf("dirty = %v, want %v", dirty, want)
+		}
+	}
+	if got := g.TakeExtraMutations(); got != nil {
+		t.Fatalf("second Take returned %v, want nil", got)
+	}
+	g.AddExtraEdge(1, 2, 1) // tracking stopped: must not panic or record
+}

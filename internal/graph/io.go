@@ -145,17 +145,35 @@ func Read(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-// Save writes the graph to path.
+// Save writes the graph to path atomically: the bytes go to a temporary
+// file in the same directory, are fsynced, and are renamed into place, so
+// a crash mid-save never leaves a torn index behind an existing path.
 func (g *Graph) Save(path string) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := g.Write(f); err != nil {
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := g.Write(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load reads a graph from path.

@@ -1,0 +1,61 @@
+package persist
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts the handful of filesystem operations the store needs, so
+// fault-injection tests can kill writes mid-snapshot, starve the op log,
+// or fail renames, and assert that recovery still yields a consistent
+// index. The zero-configuration implementation is the real filesystem.
+type FS interface {
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	Open(name string) (io.ReadCloser, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// ReadDir returns the names (not paths) of the entries in dir.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir flushes directory metadata (the rename making a snapshot
+	// visible) to stable storage.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle FS.Create returns.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error               { return os.MkdirAll(dir, 0o755) }
+func (osFS) Create(name string) (File, error)        { return os.Create(name) }
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+func (osFS) Rename(oldpath, newpath string) error    { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

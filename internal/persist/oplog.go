@@ -1,0 +1,198 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"ngfix/internal/graph"
+)
+
+// The op log is a sequence of records, each framed as
+//
+//	length uint32 | crc uint32 | payload
+//
+// where crc is the Castagnoli CRC-32 of the payload. Every record is
+// appended with one Write call, so a crash tears at most the final
+// record; replay stops cleanly at the first frame whose length, checksum,
+// or trailing bytes are incomplete. The payload starts with a one-byte
+// OpKind followed by kind-specific fields (little-endian throughout).
+
+// OpKind discriminates op-log records.
+type OpKind uint8
+
+const (
+	// OpInsert appends a base vector (replayed through the index's normal
+	// insertion path).
+	OpInsert OpKind = 1
+	// OpDelete tombstones a vertex.
+	OpDelete OpKind = 2
+	// OpFixEdges replaces the extra adjacency of the vertices a fix batch
+	// touched.
+	OpFixEdges OpKind = 3
+)
+
+// Op is one durable mutation. Exactly the fields for its Kind are set.
+type Op struct {
+	Kind    OpKind
+	Vector  []float32           // OpInsert
+	ID      uint32              // OpDelete
+	Updates []graph.ExtraUpdate // OpFixEdges
+}
+
+// maxRecordBytes bounds a single record; longer frames are treated as
+// corruption rather than allocated.
+const maxRecordBytes = 1 << 28
+
+func encodeOp(op Op) ([]byte, error) {
+	le := binary.LittleEndian
+	switch op.Kind {
+	case OpInsert:
+		b := make([]byte, 1+4+4*len(op.Vector))
+		b[0] = byte(OpInsert)
+		le.PutUint32(b[1:], uint32(len(op.Vector)))
+		for i, v := range op.Vector {
+			le.PutUint32(b[5+4*i:], math.Float32bits(v))
+		}
+		return b, nil
+	case OpDelete:
+		b := make([]byte, 1+4)
+		b[0] = byte(OpDelete)
+		le.PutUint32(b[1:], op.ID)
+		return b, nil
+	case OpFixEdges:
+		n := 1 + 4
+		for _, up := range op.Updates {
+			n += 8 + 6*len(up.Edges)
+		}
+		b := make([]byte, n)
+		b[0] = byte(OpFixEdges)
+		le.PutUint32(b[1:], uint32(len(op.Updates)))
+		off := 5
+		for _, up := range op.Updates {
+			le.PutUint32(b[off:], up.U)
+			le.PutUint32(b[off+4:], uint32(len(up.Edges)))
+			off += 8
+			for _, e := range up.Edges {
+				le.PutUint32(b[off:], e.To)
+				le.PutUint16(b[off+4:], e.EH)
+				off += 6
+			}
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("persist: encode unknown op kind %d", op.Kind)
+}
+
+func decodeOp(b []byte) (Op, error) {
+	le := binary.LittleEndian
+	if len(b) == 0 {
+		return Op{}, errors.New("persist: empty op record")
+	}
+	kind := OpKind(b[0])
+	b = b[1:]
+	switch kind {
+	case OpInsert:
+		if len(b) < 4 {
+			return Op{}, errors.New("persist: short insert record")
+		}
+		n := int(le.Uint32(b))
+		if len(b) != 4+4*n {
+			return Op{}, fmt.Errorf("persist: insert record length %d != %d", len(b), 4+4*n)
+		}
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = math.Float32frombits(le.Uint32(b[4+4*i:]))
+		}
+		return Op{Kind: OpInsert, Vector: v}, nil
+	case OpDelete:
+		if len(b) != 4 {
+			return Op{}, errors.New("persist: malformed delete record")
+		}
+		return Op{Kind: OpDelete, ID: le.Uint32(b)}, nil
+	case OpFixEdges:
+		if len(b) < 4 {
+			return Op{}, errors.New("persist: short fix-edges record")
+		}
+		nUp := int(le.Uint32(b))
+		b = b[4:]
+		updates := make([]graph.ExtraUpdate, 0, nUp)
+		for i := 0; i < nUp; i++ {
+			if len(b) < 8 {
+				return Op{}, errors.New("persist: truncated fix-edges update")
+			}
+			u := le.Uint32(b)
+			deg := int(le.Uint32(b[4:]))
+			b = b[8:]
+			if len(b) < 6*deg {
+				return Op{}, errors.New("persist: truncated fix-edges adjacency")
+			}
+			edges := make([]graph.ExtraEdge, deg)
+			for j := range edges {
+				edges[j] = graph.ExtraEdge{To: le.Uint32(b[6*j:]), EH: le.Uint16(b[6*j+4:])}
+			}
+			b = b[6*deg:]
+			updates = append(updates, graph.ExtraUpdate{U: u, Edges: edges})
+		}
+		if len(b) != 0 {
+			return Op{}, fmt.Errorf("persist: %d trailing bytes in fix-edges record", len(b))
+		}
+		return Op{Kind: OpFixEdges, Updates: updates}, nil
+	}
+	return Op{}, fmt.Errorf("persist: unknown op kind %d", kind)
+}
+
+// frameOp wraps an encoded op in the length|crc frame, ready for a single
+// Write.
+func frameOp(op Op) ([]byte, error) {
+	payload, err := encodeOp(op)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8+len(payload))
+	le := binary.LittleEndian
+	le.PutUint32(buf, uint32(len(payload)))
+	le.PutUint32(buf[4:], crc32.Checksum(payload, crcTable))
+	copy(buf[8:], payload)
+	return buf, nil
+}
+
+// readLog streams records from r into fn, stopping cleanly at a torn or
+// corrupt tail (the expected shape after a crash mid-append). It returns
+// how many intact records were delivered. An error comes only from fn or
+// from a record whose checksum verifies but whose payload cannot be
+// decoded — genuine corruption, not a torn write.
+func readLog(r io.Reader, fn func(Op) error) (int, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 8)
+	le := binary.LittleEndian
+	n := 0
+	for {
+		if _, err := io.ReadFull(br, head); err != nil {
+			return n, nil // clean EOF or torn header: end of usable log
+		}
+		length := le.Uint32(head)
+		if length > maxRecordBytes {
+			return n, nil // implausible frame: treat as corrupt tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return n, nil // torn payload
+		}
+		if crc32.Checksum(payload, crcTable) != le.Uint32(head[4:]) {
+			return n, nil // torn or bit-flipped record
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			return n, err
+		}
+		if err := fn(op); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

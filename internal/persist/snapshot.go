@@ -1,0 +1,124 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+
+	"ngfix/internal/graph"
+)
+
+// Snapshot file format (little-endian):
+//
+//	magic   uint32 = 0x4E47534E ("NGSN")
+//	version uint32 = 1
+//	length  uint64   payload bytes
+//	crc     uint32   Castagnoli CRC-32 of the payload
+//	payload          graph serialization (internal/graph Write format)
+//
+// Snapshots are written to a sibling .tmp file, fsynced, renamed into
+// place, and the directory is fsynced — so a snapshot file either exists
+// complete or not at all, and the checksum catches anything the
+// filesystem lies about.
+const (
+	snapMagic   uint32 = 0x4E47534E
+	snapVersion uint32 = 1
+
+	snapHeaderLen = 20
+	// maxSnapshotBytes bounds how much Load will allocate for a payload;
+	// anything larger is treated as corruption.
+	maxSnapshotBytes = int64(1) << 38
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// writeSnapshotFile atomically persists g at path via fsys. sync controls
+// whether file and directory fsyncs run (tests may skip them).
+func writeSnapshotFile(fsys FS, path string, g *graph.Graph, sync bool) error {
+	var body bytes.Buffer
+	if err := g.Write(&body); err != nil {
+		return fmt.Errorf("persist: encode snapshot: %w", err)
+	}
+	payload := body.Bytes()
+	head := make([]byte, snapHeaderLen)
+	le := binary.LittleEndian
+	le.PutUint32(head[0:], snapMagic)
+	le.PutUint32(head[4:], snapVersion)
+	le.PutUint64(head[8:], uint64(len(payload)))
+	le.PutUint32(head[16:], crc32.Checksum(payload, crcTable))
+
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("persist: create snapshot temp: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		fsys.Remove(tmp) // best effort
+		return err
+	}
+	if _, err := f.Write(head); err != nil {
+		return fail(fmt.Errorf("persist: write snapshot header: %w", err))
+	}
+	if _, err := f.Write(payload); err != nil {
+		return fail(fmt.Errorf("persist: write snapshot payload: %w", err))
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			return fail(fmt.Errorf("persist: sync snapshot: %w", err))
+		}
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("persist: close snapshot temp: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("persist: publish snapshot: %w", err)
+	}
+	if sync {
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			return fmt.Errorf("persist: sync snapshot dir: %w", err)
+		}
+	}
+	return nil
+}
+
+// readSnapshotFile loads and verifies the snapshot at path.
+func readSnapshotFile(fsys FS, path string) (*graph.Graph, error) {
+	rc, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	head := make([]byte, snapHeaderLen)
+	if _, err := io.ReadFull(rc, head); err != nil {
+		return nil, fmt.Errorf("persist: read snapshot header: %w", err)
+	}
+	le := binary.LittleEndian
+	if m := le.Uint32(head[0:]); m != snapMagic {
+		return nil, fmt.Errorf("persist: bad snapshot magic %#x", m)
+	}
+	if v := le.Uint32(head[4:]); v != snapVersion {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d", v)
+	}
+	length := le.Uint64(head[8:])
+	if int64(length) > maxSnapshotBytes {
+		return nil, fmt.Errorf("persist: implausible snapshot length %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(rc, payload); err != nil {
+		return nil, fmt.Errorf("persist: read snapshot payload: %w", err)
+	}
+	if got, want := crc32.Checksum(payload, crcTable), le.Uint32(head[16:]); got != want {
+		return nil, fmt.Errorf("persist: snapshot checksum mismatch (got %#x, want %#x)", got, want)
+	}
+	g, err := graph.Read(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("persist: decode snapshot: %w", err)
+	}
+	return g, nil
+}

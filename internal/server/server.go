@@ -3,22 +3,39 @@
 // the index serves searches while continuously repairing itself with the
 // query stream it observes.
 //
-//	POST /v1/search   {"vector": [...], "k": 10, "ef": 100}
-//	POST /v1/insert   {"vector": [...]}
-//	POST /v1/delete   {"id": 123}
-//	POST /v1/fix      {}                      — drain & fix recorded queries
-//	POST /v1/purge    {"k": 30, "ef": 200}    — unlink tombstones + repair
+//	POST /v1/search    {"vector": [...], "k": 10, "ef": 100}
+//	POST /v1/insert    {"vector": [...]}
+//	POST /v1/delete    {"id": 123}
+//	POST /v1/fix       {}                      — drain & fix recorded queries
+//	POST /v1/purge     {"k": 30, "ef": 200}    — unlink tombstones + repair
+//	POST /v1/snapshot  {}                      — force a durable snapshot
 //	GET  /v1/stats
-//	GET  /healthz
+//	GET  /healthz                              — liveness (200 while the process runs)
+//	GET  /readyz                               — readiness (503 until the index is
+//	                                             loaded/replayed and during drain)
+//
+// Robustness: every handler runs behind panic recovery (a bad request
+// cannot kill the process) and http.MaxBytesReader (a huge body cannot
+// OOM it); wrong methods get 405 with an Allow header; response-encoding
+// failures are logged through an injectable logger so operators see
+// malformed-response incidents.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
+	"sync/atomic"
 
 	"ngfix/internal/core"
 )
+
+// DefaultMaxBodyBytes caps request bodies when Server.MaxBodyBytes is
+// unset: generous for high-dimensional vectors, far below OOM territory.
+const DefaultMaxBodyBytes int64 = 8 << 20
 
 // Server wires an OnlineFixer to an http.Handler.
 type Server struct {
@@ -26,26 +43,100 @@ type Server struct {
 	mux   *http.ServeMux
 	// DefaultK / DefaultEF apply when a search request omits them.
 	DefaultK, DefaultEF int
+	// Logger receives malformed-response incidents and handler panics.
+	// Nil uses the process-default logger.
+	Logger *log.Logger
+	// MaxBodyBytes caps request bodies (DefaultMaxBodyBytes when 0).
+	MaxBodyBytes int64
+	// SnapshotFunc backs POST /v1/snapshot; when nil the endpoint
+	// reports 501 Not Implemented.
+	SnapshotFunc func() error
+
+	ready    atomic.Bool
+	draining atomic.Bool
 }
 
-// New builds a Server around an online fixer.
+// New builds a Server around an online fixer. The server starts not
+// ready: call SetReady(true) once the index is loaded/replayed and the
+// listener is up, so /readyz tells load balancers the truth.
 func New(fixer *core.OnlineFixer) *Server {
 	s := &Server{fixer: fixer, mux: http.NewServeMux(), DefaultK: 10, DefaultEF: 100}
-	s.mux.HandleFunc("/v1/search", s.handleSearch)
-	s.mux.HandleFunc("/v1/insert", s.handleInsert)
-	s.mux.HandleFunc("/v1/delete", s.handleDelete)
-	s.mux.HandleFunc("/v1/fix", s.handleFix)
-	s.mux.HandleFunc("/v1/purge", s.handlePurge)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("/v1/search", s.method(http.MethodPost, s.handleSearch))
+	s.mux.HandleFunc("/v1/insert", s.method(http.MethodPost, s.handleInsert))
+	s.mux.HandleFunc("/v1/delete", s.method(http.MethodPost, s.handleDelete))
+	s.mux.HandleFunc("/v1/fix", s.method(http.MethodPost, s.handleFix))
+	s.mux.HandleFunc("/v1/purge", s.method(http.MethodPost, s.handlePurge))
+	s.mux.HandleFunc("/v1/snapshot", s.method(http.MethodPost, s.handleSnapshot))
+	s.mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))
+	s.mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.method(http.MethodGet, s.handleReadyz))
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// SetReady flips what /readyz reports. Serving handlers are unaffected:
+// readiness is advisory routing information for load balancers.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// StartDrain marks the server draining: /readyz turns 503 so balancers
+// stop routing here, while in-flight and straggler requests still get
+// served. Call it right before http.Server.Shutdown.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.ready.Store(false)
+}
+
+// ServeHTTP implements http.Handler with the protective middleware:
+// request bodies are size-capped, and a panicking handler answers 500
+// instead of killing the process.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			if !sw.wrote {
+				s.httpError(sw, http.StatusInternalServerError, errors.New("internal server error"))
+			}
+		}
+	}()
+	if r.Body != nil {
+		max := s.MaxBodyBytes
+		if max <= 0 {
+			max = DefaultMaxBodyBytes
+		}
+		r.Body = http.MaxBytesReader(sw, r.Body, max)
+	}
+	s.mux.ServeHTTP(sw, r)
+}
+
+// statusWriter tracks whether a response has started, so panic recovery
+// knows if it can still write a clean 500.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// method enforces the HTTP verb, answering 405 with an Allow header
+// otherwise.
+func (s *Server) method(verb string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != verb {
+			w.Header().Set("Allow", verb)
+			s.httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s required", verb))
+			return
+		}
+		h(w, r)
+	}
+}
 
 // SearchRequest is the /v1/search body.
 type SearchRequest struct {
@@ -106,6 +197,11 @@ type PurgeResponse struct {
 	RepairEdges  int `json:"repairEdges"`
 }
 
+// SnapshotResponse is the /v1/snapshot reply.
+type SnapshotResponse struct {
+	OK bool `json:"ok"`
+}
+
 // StatsResponse is the /v1/stats reply.
 type StatsResponse struct {
 	Vectors      int     `json:"vectors"`
@@ -114,9 +210,14 @@ type StatsResponse struct {
 	Metric       string  `json:"metric"`
 	AvgDegree    float64 `json:"avgDegree"`
 	SizeBytes    int64   `json:"sizeBytes"`
+	BaseEdges    int     `json:"baseEdges"`
+	ExtraEdges   int     `json:"extraEdges"`
 	PendingFix   int     `json:"pendingFix"`
 	FixedQueries int     `json:"fixedQueries"`
 	FixBatches   int     `json:"fixBatches"`
+	ShedQueries  int     `json:"shedQueries"`
+	WALErrors    int     `json:"walErrors"`
+	LastWALError string  `json:"lastWALError,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -125,7 +226,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.checkVector(req.Vector); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	k := req.K
@@ -141,7 +242,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	for i, h := range res {
 		resp.Results[i] = SearchHit{ID: h.ID, Dist: h.Dist}
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -150,10 +251,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.checkVector(req.Vector); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, InsertResponse{ID: s.fixer.Insert(req.Vector)})
+	s.writeJSON(w, InsertResponse{ID: s.fixer.Insert(req.Vector)})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -162,19 +263,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if int(req.ID) >= s.fixer.Index().G.Len() {
-		httpError(w, http.StatusNotFound, fmt.Errorf("id %d out of range", req.ID))
+		s.httpError(w, http.StatusNotFound, fmt.Errorf("id %d out of range", req.ID))
 		return
 	}
-	writeJSON(w, DeleteResponse{Deleted: s.fixer.Delete(req.ID)})
+	s.writeJSON(w, DeleteResponse{Deleted: s.fixer.Delete(req.ID)})
 }
 
 func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
 	rep := s.fixer.FixPending()
-	writeJSON(w, FixResponse{Queries: rep.Queries, NGFixEdges: rep.NGFixEdges, RFixEdges: rep.RFixEdges})
+	s.writeJSON(w, FixResponse{Queries: rep.Queries, NGFixEdges: rep.NGFixEdges, RFixEdges: rep.RFixEdges})
 }
 
 func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
@@ -183,23 +280,59 @@ func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rep := s.fixer.PurgeAndRepair(req.K, req.EF)
-	writeJSON(w, PurgeResponse{Purged: rep.Purged, EdgesRemoved: rep.EdgesRemoved, RepairEdges: rep.RepairEdges})
+	s.writeJSON(w, PurgeResponse{Purged: rep.Purged, EdgesRemoved: rep.EdgesRemoved, RepairEdges: rep.RepairEdges})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.SnapshotFunc == nil {
+		s.httpError(w, http.StatusNotImplemented, errors.New("persistence not configured (start with -snapshot-dir)"))
+		return
+	}
+	if err := s.SnapshotFunc(); err != nil {
+		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("snapshot failed: %v", err))
+		return
+	}
+	s.writeJSON(w, SnapshotResponse{OK: true})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	g := s.fixer.Index().G
-	fixed, batches := s.fixer.Stats()
-	writeJSON(w, StatsResponse{
+	base, extra := g.EdgeCount()
+	ost := s.fixer.OnlineStats()
+	s.writeJSON(w, StatsResponse{
 		Vectors:      g.Len(),
 		Live:         g.Live(),
 		Dim:          g.Dim(),
 		Metric:       g.Metric.String(),
 		AvgDegree:    g.AvgDegree(),
 		SizeBytes:    g.SizeBytes(),
-		PendingFix:   s.fixer.Pending(),
-		FixedQueries: fixed,
-		FixBatches:   batches,
+		BaseEdges:    base,
+		ExtraEdges:   extra,
+		PendingFix:   ost.Pending,
+		FixedQueries: ost.FixedQueries,
+		FixBatches:   ost.FixBatches,
+		ShedQueries:  ost.ShedQueries,
+		WALErrors:    ost.WALErrors,
+		LastWALError: ost.LastWALError,
 	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		msg := "index not ready"
+		if s.draining.Load() {
+			msg = "draining"
+		}
+		s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) checkVector(v []float32) error {
@@ -213,29 +346,42 @@ func (s *Server) checkVector(v []float32) error {
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return false
-	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
 		return false
 	}
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.Logger != nil {
+		s.Logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers already sent; nothing useful left to do.
-		return
+		// Headers are already on the wire; all that is left is making the
+		// incident visible to operators.
+		s.logf("server: encode %T response: %v", v, err)
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+func (s *Server) httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
+		s.logf("server: encode %d error response: %v", code, encErr)
+	}
 }

@@ -3,8 +3,13 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 
 	"ngfix/internal/core"
@@ -14,6 +19,14 @@ import (
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset) {
+	ts, _, d := newTestServerFull(t)
+	return ts, d
+}
+
+// newTestServerFull also exposes the Server for tests that poke at
+// readiness, the snapshot hook, or body limits. Like production startup,
+// it marks the server ready once the (here: instant) index load is done.
+func newTestServerFull(t *testing.T) (*httptest.Server, *Server, *dataset.Dataset) {
 	t.Helper()
 	d := dataset.Generate(dataset.Config{
 		Name: "srv", N: 500, NHist: 100, NTest: 30,
@@ -23,9 +36,11 @@ func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset) {
 	h := hnsw.Build(d.Base, hnsw.Config{M: 8, EFConstruction: 60, Metric: vec.L2, Seed: 1})
 	ix := core.New(h.Bottom(), core.Options{Rounds: []core.Round{{K: 15}}, LEx: 24})
 	fixer := core.NewOnlineFixer(ix, core.OnlineConfig{BatchSize: 50, PrepEF: 80})
-	ts := httptest.NewServer(New(fixer))
+	s := New(fixer)
+	s.SetReady(true)
+	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
-	return ts, d
+	return ts, s, d
 }
 
 func post(t *testing.T, url string, body interface{}, out interface{}) *http.Response {
@@ -191,5 +206,266 @@ func TestHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink: handlers log from the HTTP
+// server's goroutines while the test reads from its own.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func doMethod(t *testing.T, method, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestMethodEnforcement(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodPost, "/v1/stats", http.MethodGet},
+		{http.MethodGet, "/v1/fix", http.MethodPost},
+		{http.MethodPost, "/healthz", http.MethodGet},
+		{http.MethodDelete, "/readyz", http.MethodGet},
+		{http.MethodGet, "/v1/snapshot", http.MethodPost},
+	}
+	for _, c := range cases {
+		resp := doMethod(t, c.method, ts.URL+c.path)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != c.allow {
+			t.Fatalf("%s %s: Allow %q, want %q", c.method, c.path, got, c.allow)
+		}
+	}
+}
+
+func TestReadyzLifecycle(t *testing.T) {
+	ts, s, _ := newTestServerFull(t)
+	s.SetReady(false) // back to the pre-load state
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before ready: %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before ready: %d, want 200 (liveness != readiness)", code)
+	}
+	s.SetReady(true)
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after ready: %d, want 200", code)
+	}
+	s.StartDrain()
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", code)
+	}
+	// Draining still serves stragglers.
+	if code := get("/v1/stats"); code != http.StatusOK {
+		t.Fatalf("stats while draining: %d, want 200", code)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	ts, s, d := newTestServerFull(t)
+	logs := &syncBuffer{}
+	s.Logger = log.New(logs, "", 0)
+	s.SnapshotFunc = func() error { panic("disk fell off") }
+
+	resp := post(t, ts.URL+"/v1/snapshot", struct{}{}, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(logs.String(), "disk fell off") {
+		t.Fatal("panic not logged")
+	}
+	// The process survived: normal serving continues.
+	var sr SearchResponse
+	resp = post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.TestOOD.Row(0), K: 3, EF: 30}, &sr)
+	if resp.StatusCode != http.StatusOK || len(sr.Results) != 3 {
+		t.Fatalf("serving broken after panic: status %d, %d results", resp.StatusCode, len(sr.Results))
+	}
+}
+
+func TestRequestBodyLimit(t *testing.T) {
+	ts, s, _ := newTestServerFull(t)
+	s.MaxBodyBytes = 128
+	big := make([]float32, 1024)
+	resp := post(t, ts.URL+"/v1/search", SearchRequest{Vector: big}, nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	// Small bodies still fit.
+	resp = post(t, ts.URL+"/v1/delete", DeleteRequest{ID: 1}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body after limit: status %d", resp.StatusCode)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	ts, s, _ := newTestServerFull(t)
+	resp := post(t, ts.URL+"/v1/snapshot", struct{}{}, nil)
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("snapshot without persistence: status %d, want 501", resp.StatusCode)
+	}
+	calls := 0
+	s.SnapshotFunc = func() error { calls++; return nil }
+	var sn SnapshotResponse
+	resp = post(t, ts.URL+"/v1/snapshot", struct{}{}, &sn)
+	if resp.StatusCode != http.StatusOK || !sn.OK || calls != 1 {
+		t.Fatalf("snapshot: status %d ok=%v calls=%d", resp.StatusCode, sn.OK, calls)
+	}
+	s.SnapshotFunc = func() error { calls++; return errTestSnapshot }
+	resp = post(t, ts.URL+"/v1/snapshot", struct{}{}, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failing snapshot: status %d, want 500", resp.StatusCode)
+	}
+}
+
+var errTestSnapshot = errors.New("no space left on device")
+
+// TestConcurrentServing hammers the server from many goroutines — search,
+// insert, delete, fix, stats — and asserts the counters clients observe
+// are coherent: fixed-query and batch totals never go backwards and the
+// vector count never shrinks. Run with -race.
+func TestConcurrentServing(t *testing.T) {
+	ts, _, d := newTestServerFull(t)
+	client := ts.Client()
+
+	postJSON := func(path string, body interface{}, out interface{}) (int, error) {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", &buf)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if out != nil && resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	// Searchers.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				var sr SearchResponse
+				q := d.History.Row((i*3 + w) % d.History.Rows())
+				code, err := postJSON("/v1/search", SearchRequest{Vector: q, K: 5, EF: 30}, &sr)
+				if err != nil || code != http.StatusOK || len(sr.Results) == 0 {
+					fail(fmt.Errorf("search worker %d: code %d err %v results %d", w, code, err, len(sr.Results)))
+					return
+				}
+			}
+		}(w)
+	}
+	// Mutator: inserts then deletes its own vectors.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			var ins InsertResponse
+			code, err := postJSON("/v1/insert", InsertRequest{Vector: d.TestOOD.Row(i)}, &ins)
+			if err != nil || code != http.StatusOK {
+				fail(fmt.Errorf("insert %d: code %d err %v", i, code, err))
+				return
+			}
+			if code, err := postJSON("/v1/delete", DeleteRequest{ID: ins.ID}, nil); err != nil || code != http.StatusOK {
+				fail(fmt.Errorf("delete %d: code %d err %v", ins.ID, code, err))
+				return
+			}
+		}
+	}()
+	// Fixer: drains the recorded-query buffer while searches stream in.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if code, err := postJSON("/v1/fix", struct{}{}, nil); err != nil || code != http.StatusOK {
+				fail(fmt.Errorf("fix %d: code %d err %v", i, code, err))
+				return
+			}
+		}
+	}()
+	// Stats poller: the monotonicity observer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev StatsResponse
+		for i := 0; i < 30; i++ {
+			resp, err := client.Get(ts.URL + "/v1/stats")
+			if err != nil {
+				fail(fmt.Errorf("stats %d: %v", i, err))
+				return
+			}
+			var st StatsResponse
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				fail(fmt.Errorf("stats decode %d: %v", i, err))
+				return
+			}
+			if st.FixedQueries < prev.FixedQueries || st.FixBatches < prev.FixBatches {
+				fail(fmt.Errorf("fix counters went backwards: %+v then %+v", prev, st))
+				return
+			}
+			if st.Vectors < prev.Vectors {
+				fail(fmt.Errorf("vector count shrank: %d then %d", prev.Vectors, st.Vectors))
+				return
+			}
+			prev = st
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	if err, ok := <-errs; ok {
+		t.Fatal(err)
 	}
 }
