@@ -28,9 +28,18 @@ import (
 // the exact extra-adjacency replacements they performed — and the fixer
 // triggers full snapshots on the configured cadence, so a crash loses
 // neither the base graph nor the edges learned from live traffic.
+//
+// Lock order: pmu before mu, never the reverse. pmu serializes the set
+// {graph mutations, snapshots}: every mutation path (Insert, Delete, the
+// apply phase of a fix batch, PurgeAndRepair) holds pmu around its mu
+// critical section, and a snapshot holds pmu alone for its whole
+// duration. The graph is therefore quiescent while a snapshot serializes
+// it even though mu is free — so searches (read-only) keep flowing during
+// a snapshot's encode and fsync, and only mutations stall behind it.
 type OnlineFixer struct {
-	mu sync.RWMutex
-	ix *Index
+	pmu sync.Mutex // serializes mutations with snapshots; acquired before mu
+	mu  sync.RWMutex
+	ix  *Index
 
 	pending   *vec.Matrix
 	batchSize int
@@ -56,9 +65,11 @@ type OnlineFixer struct {
 }
 
 // WAL is the durability sink the fixer writes through (implemented by
-// internal/persist.Store). Every method is invoked while the fixer holds
-// its write lock, so implementations observe a quiescent graph and a log
-// order identical to the apply order.
+// internal/persist.Store). Log appends are invoked while the fixer holds
+// its write lock; Snapshot is invoked with only the fixer's mutation
+// mutex held, so searches proceed while it runs. In every case the fixer
+// guarantees implementations observe a quiescent graph and a log order
+// identical to the apply order.
 type WAL interface {
 	// LogInsert journals an appended base vector.
 	LogInsert(v []float32) error
@@ -74,6 +85,10 @@ type WAL interface {
 // ErrNoWAL is returned by Snapshot when the fixer was built without a
 // durability sink.
 var ErrNoWAL = errors.New("core: online fixer has no WAL configured")
+
+// ErrUnknownID is returned by DeleteChecked for an id the index has never
+// assigned.
+var ErrUnknownID = errors.New("core: id out of range")
 
 // OnlineConfig controls an OnlineFixer.
 type OnlineConfig struct {
@@ -176,10 +191,22 @@ func (o *OnlineFixer) Stats() (fixedQueries, batches int) {
 	return o.totalFixed, o.totalBatches
 }
 
-// OnlineStats is a consistent snapshot of the fixer's counters.
-// FixedQueries and FixBatches are monotonically non-decreasing over the
-// fixer's lifetime.
+// OnlineStats is a consistent snapshot of the fixer's counters and the
+// wrapped graph's shape. FixedQueries and FixBatches are monotonically
+// non-decreasing over the fixer's lifetime.
 type OnlineStats struct {
+	// Graph shape, gathered under the same lock acquisition as the
+	// counters so observers never see a torn view of a mid-mutation
+	// graph. Vectors never shrinks (deletes are tombstones).
+	Vectors    int
+	Live       int
+	Dim        int
+	Metric     vec.Metric
+	AvgDegree  float64
+	SizeBytes  int64
+	BaseEdges  int
+	ExtraEdges int
+
 	Pending      int
 	FixedQueries int
 	FixBatches   int
@@ -187,16 +214,30 @@ type OnlineStats struct {
 	// the buffer was full when a fresher query arrived.
 	ShedQueries int
 	// WALErrors counts durability failures the fixer absorbed (serving
-	// continued); LastWALError describes the most recent one.
+	// continued); LastWALError describes the most recent one not yet
+	// cleared by a successful snapshot.
 	WALErrors    int
 	LastWALError string
 }
 
-// OnlineStats returns the fixer's counters under one lock acquisition.
+// OnlineStats returns the fixer's counters and graph shape under one lock
+// acquisition. This is the only race-safe way to read graph-derived
+// numbers while the fixer is live: the graph itself is mutated under the
+// fixer's write lock, so unlocked reads through Index() can tear.
 func (o *OnlineFixer) OnlineStats() OnlineStats {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
+	g := o.ix.G
+	base, extra := g.EdgeCount()
 	st := OnlineStats{
+		Vectors:      g.Len(),
+		Live:         g.Live(),
+		Dim:          g.Dim(),
+		Metric:       g.Metric,
+		AvgDegree:    g.AvgDegree(),
+		SizeBytes:    g.SizeBytes(),
+		BaseEdges:    base,
+		ExtraEdges:   extra,
 		Pending:      o.pending.Rows(),
 		FixedQueries: o.totalFixed,
 		FixBatches:   o.totalBatches,
@@ -207,6 +248,25 @@ func (o *OnlineFixer) OnlineStats() OnlineStats {
 		st.LastWALError = o.lastWALErr.Error()
 	}
 	return st
+}
+
+// Dim returns the index dimensionality under the fixer's lock.
+func (o *OnlineFixer) Dim() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.ix.G.Dim()
+}
+
+// Degraded reports whether the durability sink is in a failed state: a
+// WAL append or snapshot returned an error and no snapshot has succeeded
+// since. While degraded, mutations applied in memory may not survive a
+// crash; the serving layer reflects this on /readyz. A successful
+// snapshot (manual or on cadence) captures the full in-memory state and
+// clears the condition. Always false without a WAL.
+func (o *OnlineFixer) Degraded() bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.lastWALErr != nil
 }
 
 // FixPending drains the recorded queries and repairs the graph with them.
@@ -239,8 +299,9 @@ func (o *OnlineFixer) FixPendingChecked() (FixReport, error) {
 	truth := o.ix.ApproxTruth(batch, o.truthK, o.prepEF)
 	o.mu.RUnlock()
 
+	o.pmu.Lock()
+	defer o.pmu.Unlock()
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	if o.wal != nil {
 		o.ix.G.TrackExtraMutations()
 	}
@@ -250,6 +311,7 @@ func (o *OnlineFixer) FixPendingChecked() (FixReport, error) {
 	// Graph structure changed: drop pooled searchers bound to stale sizes.
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
 	var err error
+	snap := false
 	if o.wal != nil {
 		dirty := o.ix.G.TakeExtraMutations()
 		if len(dirty) > 0 {
@@ -264,36 +326,83 @@ func (o *OnlineFixer) FixPendingChecked() (FixReport, error) {
 			o.noteWALErr(err)
 		}
 		o.sinceBatches++
-		o.maybeSnapshotLocked()
+		snap = o.wantSnapshotLocked()
+	}
+	o.mu.Unlock()
+	if snap {
+		o.snapshotHoldingPmu() // failure already recorded in the counters
 	}
 	return rep, err
 }
 
-// Insert adds a base vector (write lock) and journals it.
+// Insert adds a base vector (write lock) and journals it, absorbing any
+// durability error into the WAL counters. Use InsertChecked to observe
+// the error.
 func (o *OnlineFixer) Insert(v []float32) uint32 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	id := o.ix.Insert(v)
-	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
-	if o.wal != nil {
-		o.noteWALErr(o.wal.LogInsert(v))
-		o.sinceMuts++
-		o.maybeSnapshotLocked()
-	}
+	id, _ := o.InsertChecked(v)
 	return id
 }
 
-// Delete tombstones a vector (write lock) and journals it.
-func (o *OnlineFixer) Delete(id uint32) bool {
+// InsertChecked is Insert with the durability error surfaced: a non-nil
+// error means the vector is live in memory but its journal append failed,
+// so it may not survive a crash until the next successful snapshot.
+func (o *OnlineFixer) InsertChecked(v []float32) (uint32, error) {
+	o.pmu.Lock()
+	defer o.pmu.Unlock()
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	changed := o.ix.Delete(id)
-	if changed && o.wal != nil {
-		o.noteWALErr(o.wal.LogDelete(id))
+	id := o.ix.Insert(v)
+	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
+	var err error
+	snap := false
+	if o.wal != nil {
+		err = o.wal.LogInsert(v)
+		o.noteWALErr(err)
 		o.sinceMuts++
-		o.maybeSnapshotLocked()
+		snap = o.wantSnapshotLocked()
 	}
+	o.mu.Unlock()
+	if snap {
+		o.snapshotHoldingPmu() // failure already recorded in the counters
+	}
+	return id, err
+}
+
+// Delete tombstones a vector (write lock) and journals it, absorbing any
+// durability error. It reports false for both an already-deleted and an
+// out-of-range id; use DeleteChecked to tell them apart.
+func (o *OnlineFixer) Delete(id uint32) bool {
+	changed, _ := o.DeleteChecked(id)
 	return changed
+}
+
+// DeleteChecked is Delete with failures surfaced. The range check runs
+// under the fixer's write lock (handlers must not read graph bounds
+// unlocked): an id the index never assigned returns ErrUnknownID. Any
+// other non-nil error is a journal-append failure — the tombstone is live
+// in memory but may not survive a crash until the next successful
+// snapshot.
+func (o *OnlineFixer) DeleteChecked(id uint32) (bool, error) {
+	o.pmu.Lock()
+	defer o.pmu.Unlock()
+	o.mu.Lock()
+	if int(id) >= o.ix.G.Len() {
+		o.mu.Unlock()
+		return false, ErrUnknownID
+	}
+	changed := o.ix.Delete(id)
+	var err error
+	snap := false
+	if changed && o.wal != nil {
+		err = o.wal.LogDelete(id)
+		o.noteWALErr(err)
+		o.sinceMuts++
+		snap = o.wantSnapshotLocked()
+	}
+	o.mu.Unlock()
+	if snap {
+		o.snapshotHoldingPmu() // failure already recorded in the counters
+	}
+	return changed, err
 }
 
 // PurgeAndRepair unlinks tombstones and repairs holes (write lock). A
@@ -302,43 +411,57 @@ func (o *OnlineFixer) Delete(id uint32) bool {
 // snapshot fails, recovery falls back to the pre-purge (tombstoned but
 // consistent) state.
 func (o *OnlineFixer) PurgeAndRepair(k, efTruth int) PurgeReport {
+	o.pmu.Lock()
+	defer o.pmu.Unlock()
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	rep := o.ix.PurgeAndRepair(k, efTruth)
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
+	o.mu.Unlock()
 	if o.wal != nil && rep.Purged > 0 {
-		o.snapshotLocked()
+		o.snapshotHoldingPmu()
 	}
 	return rep
 }
 
 // Snapshot forces a durable snapshot of the current graph through the
 // WAL (POST /v1/snapshot and graceful shutdown use this). It returns
-// ErrNoWAL when the fixer has no durability sink.
+// ErrNoWAL when the fixer has no durability sink. Searches keep serving
+// while the snapshot serializes and fsyncs; only mutations wait for it.
 func (o *OnlineFixer) Snapshot() error {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.snapshotLocked()
+	o.pmu.Lock()
+	defer o.pmu.Unlock()
+	return o.snapshotHoldingPmu()
 }
 
-func (o *OnlineFixer) snapshotLocked() error {
+// snapshotHoldingPmu persists the graph through the WAL. The caller must
+// hold pmu (and not mu): pmu excludes every mutation path, so the graph
+// is quiescent for serialization while concurrent searches — pure reads
+// under mu.RLock — keep flowing. On success the durability-degraded
+// condition clears: the snapshot captured the complete in-memory state,
+// including any mutations whose journal appends had failed.
+func (o *OnlineFixer) snapshotHoldingPmu() error {
 	if o.wal == nil {
 		return ErrNoWAL
 	}
-	if err := o.wal.Snapshot(o.ix.G); err != nil {
-		o.noteWALErr(err)
-		return err
+	err := o.wal.Snapshot(o.ix.G)
+	o.mu.Lock()
+	if err != nil {
+		o.walErrs++
+		o.lastWALErr = err
+	} else {
+		o.sinceBatches, o.sinceMuts = 0, 0
+		o.lastWALErr = nil
 	}
-	o.sinceBatches, o.sinceMuts = 0, 0
-	return nil
+	o.mu.Unlock()
+	return err
 }
 
-func (o *OnlineFixer) maybeSnapshotLocked() {
-	trigger := (o.snapBatches > 0 && o.sinceBatches >= o.snapBatches) ||
+// wantSnapshotLocked reports whether the configured cadence calls for a
+// snapshot. Caller holds mu; the snapshot itself must run after releasing
+// it (see snapshotHoldingPmu).
+func (o *OnlineFixer) wantSnapshotLocked() bool {
+	return (o.snapBatches > 0 && o.sinceBatches >= o.snapBatches) ||
 		(o.snapMuts > 0 && o.sinceMuts >= o.snapMuts)
-	if trigger {
-		o.snapshotLocked() // failure already recorded in the counters
-	}
 }
 
 func (o *OnlineFixer) noteWALErr(err error) {

@@ -98,7 +98,11 @@ func TestOnlineFixerImprovesLiveWorkload(t *testing.T) {
 func TestOnlineFixerConcurrency(t *testing.T) {
 	d, g := testWorkload(t)
 	ix := New(g, Options{Rounds: []Round{{K: 15}}, LEx: 32})
-	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 25})
+	// The WAL with per-batch and per-mutation snapshot cadence makes every
+	// maintenance call below also exercise snapshot-while-searching: the
+	// snapshot reads the graph with only the mutation mutex held.
+	wal := &recordingWAL{}
+	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 25, WAL: wal, SnapshotEveryBatches: 1, SnapshotEveryMutations: 1})
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -140,6 +144,9 @@ func TestOnlineFixerConcurrency(t *testing.T) {
 	}
 	if err := o.Index().G.Validate(); err != nil {
 		t.Fatal(err)
+	}
+	if _, _, _, snaps := wal.counts(); snaps == 0 {
+		t.Fatal("no snapshot ran during the concurrent workload")
 	}
 }
 
@@ -217,6 +224,9 @@ func (w *recordingWAL) Snapshot(g *graph.Graph) error {
 	if w.fail != nil {
 		return w.fail
 	}
+	// Walk the graph the way a real serializer would: under -race this
+	// asserts snapshots see a quiescent graph while searches keep running.
+	g.EdgeCount()
 	w.snapshots++
 	return nil
 }
@@ -302,6 +312,61 @@ func TestOnlineFixerJournalsToWAL(t *testing.T) {
 }
 
 var errTestWAL = errors.New("wal sink unavailable")
+
+// Durability failures must be observable (Degraded, checked errors) and a
+// successful snapshot — which captures the full in-memory state — must
+// clear the condition.
+func TestDurabilityDegradationAndRecovery(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 15}}, LEx: 32})
+	wal := &recordingWAL{}
+	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 10, WAL: wal})
+
+	if o.Degraded() {
+		t.Fatal("fresh fixer reports degraded durability")
+	}
+	// Range checks live behind the fixer's lock now: an unknown id is a
+	// checked error, not a panic, and never reaches the WAL.
+	if _, err := o.DeleteChecked(uint32(g.Len())); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("out-of-range delete error = %v, want ErrUnknownID", err)
+	}
+	if o.Delete(99999) {
+		t.Fatal("out-of-range Delete reported a change")
+	}
+
+	wal.fail = errTestWAL
+	v := append([]float32(nil), d.History.Row(0)...)
+	if _, err := o.InsertChecked(v); err == nil {
+		t.Fatal("insert with failing WAL acknowledged durability")
+	}
+	if !o.Degraded() {
+		t.Fatal("failed journal append did not degrade durability")
+	}
+	if changed, err := o.DeleteChecked(5); !changed || err == nil {
+		t.Fatalf("delete with failing WAL: changed=%v err=%v, want applied with error", changed, err)
+	}
+	if err := o.Snapshot(); err == nil {
+		t.Fatal("snapshot with failing WAL succeeded")
+	}
+	if !o.Degraded() {
+		t.Fatal("failed snapshot cleared the degraded condition")
+	}
+
+	wal.fail = nil
+	if err := o.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Degraded() {
+		t.Fatal("successful snapshot did not clear the degraded condition")
+	}
+	st := o.OnlineStats()
+	if st.WALErrors != 3 || st.LastWALError != "" {
+		t.Fatalf("counters after recovery: WALErrors=%d LastWALError=%q, want 3 and empty", st.WALErrors, st.LastWALError)
+	}
+	if st.Vectors != g.Len() || st.Live != g.Len()-1 {
+		t.Fatalf("graph shape in stats: vectors=%d live=%d, want %d and %d", st.Vectors, st.Live, g.Len(), g.Len()-1)
+	}
+}
 
 func TestBackoffDelay(t *testing.T) {
 	base := 100 * time.Millisecond

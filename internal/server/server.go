@@ -12,13 +12,20 @@
 //	GET  /v1/stats
 //	GET  /healthz                              — liveness (200 while the process runs)
 //	GET  /readyz                               — readiness (503 until the index is
-//	                                             loaded/replayed and during drain)
+//	                                             loaded/replayed, while durability
+//	                                             is degraded, and during drain)
 //
 // Robustness: every handler runs behind panic recovery (a bad request
 // cannot kill the process) and http.MaxBytesReader (a huge body cannot
 // OOM it); wrong methods get 405 with an Allow header; response-encoding
 // failures are logged through an injectable logger so operators see
 // malformed-response incidents.
+//
+// Durability honesty: when the fixer has a WAL and a journal append
+// fails, the mutation is applied in memory but answered with 500 instead
+// of an ack, and /readyz turns 503 ("durability degraded") until a
+// snapshot succeeds — so clients and load balancers learn about at-risk
+// writes immediately instead of after a crash.
 package server
 
 import (
@@ -254,7 +261,17 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.writeJSON(w, InsertResponse{ID: s.fixer.Insert(req.Vector)})
+	id, err := s.fixer.InsertChecked(req.Vector)
+	if err != nil {
+		// Applied in memory but not journaled: refuse the ack so the
+		// client knows the write is at risk until the next snapshot.
+		// Retrying after recovery inserts a second copy (ids are
+		// append-only); see README "Operations".
+		s.httpError(w, http.StatusInternalServerError,
+			fmt.Errorf("insert applied as id %d but not journaled (durability degraded): %v", id, err))
+		return
+	}
+	s.writeJSON(w, InsertResponse{ID: id})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -262,15 +279,26 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if int(req.ID) >= s.fixer.Index().G.Len() {
+	deleted, err := s.fixer.DeleteChecked(req.ID)
+	if errors.Is(err, core.ErrUnknownID) {
 		s.httpError(w, http.StatusNotFound, fmt.Errorf("id %d out of range", req.ID))
 		return
 	}
-	s.writeJSON(w, DeleteResponse{Deleted: s.fixer.Delete(req.ID)})
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError,
+			fmt.Errorf("delete %d applied but not journaled (durability degraded): %v", req.ID, err))
+		return
+	}
+	s.writeJSON(w, DeleteResponse{Deleted: deleted})
 }
 
 func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
-	rep := s.fixer.FixPending()
+	rep, err := s.fixer.FixPendingChecked()
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError,
+			fmt.Errorf("fix batch applied (%d queries) but not journaled (durability degraded): %v", rep.Queries, err))
+		return
+	}
 	s.writeJSON(w, FixResponse{Queries: rep.Queries, NGFixEdges: rep.NGFixEdges, RFixEdges: rep.RFixEdges})
 }
 
@@ -296,18 +324,18 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	g := s.fixer.Index().G
-	base, extra := g.EdgeCount()
+	// One OnlineStats call: graph numbers must come from under the
+	// fixer's lock, never from unlocked reads through Index().
 	ost := s.fixer.OnlineStats()
 	s.writeJSON(w, StatsResponse{
-		Vectors:      g.Len(),
-		Live:         g.Live(),
-		Dim:          g.Dim(),
-		Metric:       g.Metric.String(),
-		AvgDegree:    g.AvgDegree(),
-		SizeBytes:    g.SizeBytes(),
-		BaseEdges:    base,
-		ExtraEdges:   extra,
+		Vectors:      ost.Vectors,
+		Live:         ost.Live,
+		Dim:          ost.Dim,
+		Metric:       ost.Metric.String(),
+		AvgDegree:    ost.AvgDegree,
+		SizeBytes:    ost.SizeBytes,
+		BaseEdges:    ost.BaseEdges,
+		ExtraEdges:   ost.ExtraEdges,
 		PendingFix:   ost.Pending,
 		FixedQueries: ost.FixedQueries,
 		FixBatches:   ost.FixBatches,
@@ -331,6 +359,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
 		return
 	}
+	if s.fixer.Degraded() {
+		// Searches still work, but acknowledged writes may not survive a
+		// crash until a snapshot succeeds — stop routing traffic here.
+		s.httpError(w, http.StatusServiceUnavailable, errors.New("durability degraded (WAL failing; snapshot to recover)"))
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
 }
@@ -339,8 +373,8 @@ func (s *Server) checkVector(v []float32) error {
 	if len(v) == 0 {
 		return fmt.Errorf("vector is required")
 	}
-	if len(v) != s.fixer.Index().G.Dim() {
-		return fmt.Errorf("vector dim %d != index dim %d", len(v), s.fixer.Index().G.Dim())
+	if dim := s.fixer.Dim(); len(v) != dim {
+		return fmt.Errorf("vector dim %d != index dim %d", len(v), dim)
 	}
 	return nil
 }

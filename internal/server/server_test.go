@@ -14,6 +14,7 @@ import (
 
 	"ngfix/internal/core"
 	"ngfix/internal/dataset"
+	"ngfix/internal/graph"
 	"ngfix/internal/hnsw"
 	"ngfix/internal/vec"
 )
@@ -27,6 +28,13 @@ func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset) {
 // readiness, the snapshot hook, or body limits. Like production startup,
 // it marks the server ready once the (here: instant) index load is done.
 func newTestServerFull(t *testing.T) (*httptest.Server, *Server, *dataset.Dataset) {
+	return newTestServerWAL(t, nil)
+}
+
+// newTestServerWAL is newTestServerFull with an injectable durability
+// sink, wired like production: the snapshot endpoint goes through the
+// fixer so a successful snapshot clears durability degradation.
+func newTestServerWAL(t *testing.T, wal core.WAL) (*httptest.Server, *Server, *dataset.Dataset) {
 	t.Helper()
 	d := dataset.Generate(dataset.Config{
 		Name: "srv", N: 500, NHist: 100, NTest: 30,
@@ -35,8 +43,11 @@ func newTestServerFull(t *testing.T) (*httptest.Server, *Server, *dataset.Datase
 	})
 	h := hnsw.Build(d.Base, hnsw.Config{M: 8, EFConstruction: 60, Metric: vec.L2, Seed: 1})
 	ix := core.New(h.Bottom(), core.Options{Rounds: []core.Round{{K: 15}}, LEx: 24})
-	fixer := core.NewOnlineFixer(ix, core.OnlineConfig{BatchSize: 50, PrepEF: 80})
+	fixer := core.NewOnlineFixer(ix, core.OnlineConfig{BatchSize: 50, PrepEF: 80, WAL: wal})
 	s := New(fixer)
+	if wal != nil {
+		s.SnapshotFunc = fixer.Snapshot
+	}
 	s.SetReady(true)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
@@ -467,5 +478,115 @@ func TestConcurrentServing(t *testing.T) {
 	close(errs)
 	if err, ok := <-errs; ok {
 		t.Fatal(err)
+	}
+}
+
+// flakyWAL is a durability sink with a kill switch: while broken, every
+// append and snapshot fails.
+type flakyWAL struct {
+	mu     sync.Mutex
+	broken bool
+	snaps  int
+}
+
+func (w *flakyWAL) setBroken(b bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.broken = b
+}
+
+func (w *flakyWAL) err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken {
+		return errors.New("journal disk unavailable")
+	}
+	return nil
+}
+
+func (w *flakyWAL) LogInsert(v []float32) error             { return w.err() }
+func (w *flakyWAL) LogDelete(id uint32) error               { return w.err() }
+func (w *flakyWAL) LogFixEdges(u []graph.ExtraUpdate) error { return w.err() }
+func (w *flakyWAL) Snapshot(g *graph.Graph) error {
+	if err := w.err(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.snaps++
+	return nil
+}
+
+// A WAL failure must not be a silent stats footnote: the mutation that
+// could not be journaled is answered 5xx instead of an ack, /readyz turns
+// 503 so balancers stop routing writes here, and a successful snapshot —
+// which captures the full in-memory state — restores both.
+func TestDurabilityDegradationSurfaced(t *testing.T) {
+	wal := &flakyWAL{}
+	ts, _, d := newTestServerWAL(t, wal)
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Healthy: inserts ack, readyz routes.
+	v := d.TestOOD.Row(0)
+	var ins InsertResponse
+	if resp := post(t, ts.URL+"/v1/insert", InsertRequest{Vector: v}, &ins); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy insert: status %d", resp.StatusCode)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("healthy readyz: %d", code)
+	}
+
+	wal.setBroken(true)
+	if resp := post(t, ts.URL+"/v1/insert", InsertRequest{Vector: v}, nil); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("unjournaled insert: status %d, want 500", resp.StatusCode)
+	}
+	if resp := post(t, ts.URL+"/v1/delete", DeleteRequest{ID: ins.ID}, nil); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("unjournaled delete: status %d, want 500", resp.StatusCode)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded readyz: %d, want 503", code)
+	}
+	// Searches keep serving — degradation sheds routing, not reads.
+	var sr SearchResponse
+	if resp := post(t, ts.URL+"/v1/search", SearchRequest{Vector: v, K: 3, EF: 30}, &sr); resp.StatusCode != http.StatusOK || len(sr.Results) == 0 {
+		t.Fatalf("search while degraded: status %d, %d results", resp.StatusCode, len(sr.Results))
+	}
+	// The incident is on the stats.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WALErrors < 2 || st.LastWALError == "" {
+		t.Fatalf("stats while degraded: %+v", st)
+	}
+	// Snapshot also fails while the disk is gone.
+	if resp := post(t, ts.URL+"/v1/snapshot", struct{}{}, nil); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("snapshot while broken: status %d, want 500", resp.StatusCode)
+	}
+
+	// Disk returns: one successful snapshot seals the in-memory state and
+	// clears the condition.
+	wal.setBroken(false)
+	if resp := post(t, ts.URL+"/v1/snapshot", struct{}{}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovery snapshot: status %d", resp.StatusCode)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after recovery: %d, want 200", code)
+	}
+	if resp := post(t, ts.URL+"/v1/insert", InsertRequest{Vector: v}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert after recovery: status %d", resp.StatusCode)
 	}
 }
