@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"ngfix/internal/admission"
 	"ngfix/internal/core"
 	"ngfix/internal/dataset"
 	"ngfix/internal/graph"
@@ -64,6 +65,10 @@ func run(args []string) int {
 	snapOps := fl.Int("snapshot-ops", 4096, "automatic snapshot every M inserts+deletes (0 disables; needs -snapshot-dir)")
 	oplog := fl.Bool("oplog", true, "journal inserts/deletes/fix batches between snapshots (needs -snapshot-dir)")
 	drainTimeout := fl.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	maxInflight := fl.Int("max-inflight", 64, "admission capacity in cost units (a search costs ~ef/100, rounded up; 0 disables admission control)")
+	queueDepth := fl.Int("queue-depth", 0, "bounded wait queue beyond capacity; excess requests get 429 (0 means 2x -max-inflight)")
+	searchTimeout := fl.Duration("search-timeout", 2*time.Second, "per-request compute budget; expired searches return partial results with truncated:true (0 disables)")
+	efFloor := fl.Int("ef-floor", 0, "minimum ef under queue pressure: effective ef shrinks toward this floor as the queue fills (0 disables degradation)")
 	fl.Parse(args)
 
 	// --- Index acquisition: recover from the snapshot dir when it has
@@ -151,6 +156,11 @@ func run(args []string) int {
 	if st != nil {
 		s.SnapshotFunc = fixer.Snapshot
 	}
+	if *maxInflight > 0 {
+		s.Admission = admission.New(admission.Config{Capacity: *maxInflight, QueueDepth: *queueDepth})
+	}
+	s.SearchTimeout = *searchTimeout
+	s.EFFloor = *efFloor
 
 	// --- Lifecycle: configured http.Server, signal-driven graceful
 	// shutdown, context-stopped background fixer.

@@ -172,7 +172,7 @@ func TestGracefulShutdownAndRecovery(t *testing.T) {
 	p := startServer(t, bin, "-index", idx, "-snapshot-dir", snapDir, "-fix-batch", "16")
 	for qi := 0; qi < 24; qi++ {
 		var sr server.SearchResponse
-		p.post(t, "/v1/search", server.SearchRequest{Vector: d.History.Row(qi % d.History.Rows()), K: 5, EF: 20}, &sr)
+		p.post(t, "/v1/search", server.SearchRequest{Vector: d.History.Row(qi % d.History.Rows()), K: server.IntPtr(5), EF: server.IntPtr(20)}, &sr)
 		if len(sr.Results) == 0 {
 			t.Fatal("search returned nothing")
 		}
@@ -210,7 +210,7 @@ func TestGracefulShutdownAndRecovery(t *testing.T) {
 	}
 	// The recovered index serves, and the restored state is still mutable.
 	var sr server.SearchResponse
-	p2.post(t, "/v1/search", server.SearchRequest{Vector: d.TestOOD.Row(0), K: 1, EF: 20}, &sr)
+	p2.post(t, "/v1/search", server.SearchRequest{Vector: d.TestOOD.Row(0), K: server.IntPtr(1), EF: server.IntPtr(20)}, &sr)
 	if len(sr.Results) == 0 || sr.Results[0].ID != ins.ID {
 		t.Fatalf("recovered index lost the inserted vector: %+v", sr.Results)
 	}
@@ -224,4 +224,53 @@ func TestGracefulShutdownAndRecovery(t *testing.T) {
 		t.Fatalf("second-life insert lost: %d vectors, want %d", final.Vectors, after.Vectors+1)
 	}
 	p3.terminate(t)
+}
+
+// TestOverloadFlags wires the admission flags end to end: the configured
+// capacity and queue bound show up in /v1/stats, searches are admitted
+// and counted, and -max-inflight=0 turns the governor off entirely.
+func TestOverloadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the server binary")
+	}
+	work := t.TempDir()
+	bin := buildServerBinary(t, work)
+
+	d := dataset.Generate(dataset.Config{
+		Name: "flags", N: 300, NHist: 20, NTest: 5,
+		Dim: 8, Clusters: 4, Metric: vec.L2,
+		GapMagnitude: 1.5, ClusterStd: 0.2, QueryStdScale: 1.5, Seed: 11,
+	})
+	g := hnsw.Build(d.Base, hnsw.Config{M: 8, EFConstruction: 60, Metric: vec.L2, Seed: 1}).Bottom()
+	idx := filepath.Join(work, "base.ngig")
+	if err := g.Save(idx); err != nil {
+		t.Fatal(err)
+	}
+
+	p := startServer(t, bin, "-index", idx,
+		"-max-inflight", "4", "-queue-depth", "3", "-search-timeout", "1s", "-ef-floor", "8")
+	var sr server.SearchResponse
+	p.post(t, "/v1/search", server.SearchRequest{Vector: d.TestOOD.Row(0), K: server.IntPtr(5), EF: server.IntPtr(30)}, &sr)
+	if len(sr.Results) != 5 || sr.Truncated || sr.Clamped {
+		t.Fatalf("idle search degraded: %+v", sr)
+	}
+	st := p.stats(t)
+	if st.Admission == nil {
+		t.Fatal("admission stats missing with -max-inflight set")
+	}
+	if st.Admission.Capacity != 4 || st.Admission.QueueDepth != 3 {
+		t.Fatalf("flags not wired: capacity %d queueDepth %d", st.Admission.Capacity, st.Admission.QueueDepth)
+	}
+	if st.Admission.Admitted == 0 {
+		t.Fatal("search not accounted by admission")
+	}
+	p.terminate(t)
+
+	// Opting out: no governor, no admission section.
+	p2 := startServer(t, bin, "-index", idx, "-max-inflight", "0")
+	p2.post(t, "/v1/search", server.SearchRequest{Vector: d.TestOOD.Row(1), K: server.IntPtr(3), EF: server.IntPtr(30)}, &sr)
+	if st := p2.stats(t); st.Admission != nil {
+		t.Fatalf("admission stats present with -max-inflight=0: %+v", st.Admission)
+	}
+	p2.terminate(t)
 }

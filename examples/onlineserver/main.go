@@ -31,7 +31,7 @@ func main() {
 	fmt.Println("server listening at", ts.URL)
 
 	search := func(q []float32, k, ef int) server.SearchResponse {
-		body, _ := json.Marshal(server.SearchRequest{Vector: q, K: k, EF: ef})
+		body, _ := json.Marshal(server.SearchRequest{Vector: q, K: server.IntPtr(k), EF: server.IntPtr(ef)})
 		resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(body))
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,256 @@
+// Package admission protects the serving layer from overload. It is a
+// weighted concurrency limiter with a bounded FIFO wait queue and a
+// pressure-driven quality-degradation policy:
+//
+//   - Every request acquires admission before touching the index, paying
+//     a cost proportional to the work it causes (search cost ≈ ef, so one
+//     huge-ef query counts like several ordinary ones).
+//   - When capacity is exhausted, requests wait in FIFO order — bounded:
+//     once the queue is full, new arrivals are shed immediately (the HTTP
+//     layer answers 429 with Retry-After) instead of stacking goroutines.
+//   - Waiters honor their context: a client that disconnects or a server
+//     budget that expires leaves the queue instead of consuming a slot.
+//   - Pressure (queue fill fraction) drives graceful degradation: past a
+//     threshold, the effective search list ef shrinks linearly toward a
+//     configured floor, trading recall for survival so the server answers
+//     everyone a little worse instead of answering nobody.
+//
+// The limiter deliberately has no knowledge of HTTP or the index; it is a
+// plain synchronization primitive the server wires in as middleware.
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrSaturated is returned by Acquire when both the in-flight capacity
+// and the wait queue are full: the only safe answer is to shed the
+// request now and tell the client to retry later.
+var ErrSaturated = errors.New("admission: server saturated (capacity and queue full)")
+
+// Config sizes a Controller.
+type Config struct {
+	// Capacity is the number of cost units that may be in flight at once.
+	// A standard search (ef ≤ CostUnitEF) costs 1 unit, so this is
+	// roughly "concurrent ordinary searches" (default 64).
+	Capacity int
+	// QueueDepth bounds the FIFO wait queue; arrivals beyond it are shed
+	// with ErrSaturated (default 2×Capacity).
+	QueueDepth int
+	// CostUnitEF is the ef that costs one admission unit; larger searches
+	// cost ceil(ef/CostUnitEF) (default 100).
+	CostUnitEF int
+	// PressureThreshold is the queue fill fraction in [0,1) past which
+	// quality degradation kicks in (default 0.5).
+	PressureThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Capacity
+	}
+	if c.CostUnitEF <= 0 {
+		c.CostUnitEF = 100
+	}
+	if c.PressureThreshold <= 0 || c.PressureThreshold >= 1 {
+		c.PressureThreshold = 0.5
+	}
+	return c
+}
+
+// waiter is one queued request. ready is closed exactly once, by the
+// grant path; a waiter abandoned by its context removes itself under the
+// controller lock, so grant-vs-abandon races resolve deterministically.
+type waiter struct {
+	cost  int
+	ready chan struct{}
+}
+
+// Controller is the limiter. All methods are safe for concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu    sync.Mutex
+	inUse int
+	queue []*waiter
+
+	admitted uint64 // granted immediately or after queueing
+	shed     uint64 // rejected with ErrSaturated (queue full)
+	timedOut uint64 // left the queue because their context ended
+	maxQueue int    // high-water mark of queue length
+}
+
+// New builds a Controller from cfg (zero fields take defaults).
+func New(cfg Config) *Controller {
+	return &Controller{cfg: cfg.withDefaults()}
+}
+
+// SearchCost converts a search-list size into admission units:
+// ceil(ef/CostUnitEF), at least 1. Mutations and other fixed-work
+// requests should use cost 1.
+func (c *Controller) SearchCost(ef int) int {
+	if ef <= c.cfg.CostUnitEF {
+		return 1
+	}
+	return (ef + c.cfg.CostUnitEF - 1) / c.cfg.CostUnitEF
+}
+
+// Acquire admits a request of the given cost, waiting in FIFO order
+// behind earlier arrivals when capacity is exhausted. It returns a
+// release function that must be called exactly once when the request's
+// work is done. Cost is clamped to [1, Capacity] so an oversized request
+// can still run (alone) instead of deadlocking.
+//
+// Errors: ErrSaturated when the wait queue is full (shed immediately,
+// never blocks), or the context's error when ctx ends while queued.
+func (c *Controller) Acquire(ctx context.Context, cost int) (release func(), err error) {
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > c.cfg.Capacity {
+		cost = c.cfg.Capacity
+	}
+	c.mu.Lock()
+	// Admit immediately only when nobody is queued ahead: capacity that
+	// frees up belongs to the FIFO head, not to a lucky new arrival.
+	if len(c.queue) == 0 && c.inUse+cost <= c.cfg.Capacity {
+		c.inUse += cost
+		c.admitted++
+		c.mu.Unlock()
+		return func() { c.release(cost) }, nil
+	}
+	if len(c.queue) >= c.cfg.QueueDepth {
+		c.shed++
+		c.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	w := &waiter{cost: cost, ready: make(chan struct{})}
+	c.queue = append(c.queue, w)
+	if len(c.queue) > c.maxQueue {
+		c.maxQueue = len(c.queue)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return func() { c.release(cost) }, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with the context ending. The caller is
+			// walking away, so hand the units straight back.
+			c.mu.Unlock()
+			c.release(cost)
+		default:
+			c.removeLocked(w)
+			c.timedOut++
+			c.mu.Unlock()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Controller) release(cost int) {
+	c.mu.Lock()
+	c.inUse -= cost
+	c.grantLocked()
+	c.mu.Unlock()
+}
+
+// grantLocked promotes queued waiters, in order, while they fit. A large
+// waiter at the head blocks smaller ones behind it — strict FIFO, so
+// heavy requests cannot be starved by a stream of light ones.
+func (c *Controller) grantLocked() {
+	for len(c.queue) > 0 {
+		w := c.queue[0]
+		if c.inUse+w.cost > c.cfg.Capacity {
+			return
+		}
+		c.queue[0] = nil
+		c.queue = c.queue[1:]
+		c.inUse += w.cost
+		c.admitted++
+		close(w.ready)
+	}
+	if len(c.queue) == 0 {
+		c.queue = nil // let the backing array go once drained
+	}
+}
+
+func (c *Controller) removeLocked(w *waiter) {
+	for i, q := range c.queue {
+		if q == w {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Pressure is the queue fill fraction in [0,1]: 0 when nobody waits, 1
+// when the next arrival would be shed.
+func (c *Controller) Pressure() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(len(c.queue)) / float64(c.cfg.QueueDepth)
+}
+
+// EffectiveEF applies the degradation policy: below the pressure
+// threshold the requested ef stands; above it, ef shrinks linearly with
+// pressure toward floor (reached at pressure 1). It reports whether the
+// value was clamped so the server can tell the client — degraded recall
+// must be visible, not silent.
+func (c *Controller) EffectiveEF(requested, floor int) (ef int, clamped bool) {
+	if floor <= 0 || floor >= requested {
+		return requested, false
+	}
+	p := c.Pressure()
+	t := c.cfg.PressureThreshold
+	if p <= t {
+		return requested, false
+	}
+	scale := (p - t) / (1 - t)
+	if scale > 1 {
+		scale = 1
+	}
+	ef = requested - int(scale*float64(requested-floor))
+	if ef < floor {
+		ef = floor
+	}
+	return ef, ef < requested
+}
+
+// Stats is a point-in-time view of the limiter.
+type Stats struct {
+	Capacity   int     // configured in-flight cost units
+	InUse      int     // cost units currently admitted
+	Queued     int     // requests waiting right now
+	QueueDepth int     // configured queue bound
+	MaxQueued  int     // high-water mark of Queued
+	Pressure   float64 // Queued / QueueDepth
+	Admitted   uint64  // requests granted (immediately or after waiting)
+	Shed       uint64  // requests rejected with ErrSaturated
+	TimedOut   uint64  // requests that left the queue on context end
+}
+
+// Stats returns a consistent snapshot of the limiter's counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Capacity:   c.cfg.Capacity,
+		InUse:      c.inUse,
+		Queued:     len(c.queue),
+		QueueDepth: c.cfg.QueueDepth,
+		MaxQueued:  c.maxQueue,
+		Pressure:   float64(len(c.queue)) / float64(c.cfg.QueueDepth),
+		Admitted:   c.admitted,
+		Shed:       c.shed,
+		TimedOut:   c.timedOut,
+	}
+}

@@ -1,0 +1,295 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestImmediateAdmissionAndRelease(t *testing.T) {
+	c := New(Config{Capacity: 2, QueueDepth: 2})
+	r1, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.InUse != 2 || st.Admitted != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	r1()
+	r2()
+	if st := c.Stats(); st.InUse != 0 {
+		t.Fatalf("units leaked: %+v", st)
+	}
+}
+
+func TestShedWhenQueueFull(t *testing.T) {
+	c := New(Config{Capacity: 1, QueueDepth: 1})
+	release, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue.
+	queued := make(chan error, 1)
+	go func() {
+		r, err := c.Acquire(context.Background(), 1)
+		if err == nil {
+			defer r()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+	// The next arrival must be shed immediately, not blocked.
+	start := time.Now()
+	if _, err := c.Acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("shedding blocked")
+	}
+	if st := c.Stats(); st.Shed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	c := New(Config{Capacity: 1, QueueDepth: 8})
+	release, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}(i)
+		// Serialize arrival so queue order is deterministic.
+		waitFor(t, func() bool { return c.Stats().Queued == i+1 })
+	}
+	release()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestContextCancelWhileQueued(t *testing.T) {
+	c := New(Config{Capacity: 1, QueueDepth: 4})
+	release, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, 1)
+		errCh <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled waiter stuck in queue")
+	}
+	st := c.Stats()
+	if st.Queued != 0 || st.TimedOut != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The abandoned slot is really gone: capacity still works.
+	release()
+	r, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+}
+
+func TestWeightedCostAndClamp(t *testing.T) {
+	c := New(Config{Capacity: 4, QueueDepth: 2, CostUnitEF: 100})
+	if got := c.SearchCost(50); got != 1 {
+		t.Fatalf("SearchCost(50) = %d", got)
+	}
+	if got := c.SearchCost(100); got != 1 {
+		t.Fatalf("SearchCost(100) = %d", got)
+	}
+	if got := c.SearchCost(250); got != 3 {
+		t.Fatalf("SearchCost(250) = %d", got)
+	}
+	// A request larger than capacity is clamped, admitted alone, and
+	// blocks everything else while it runs.
+	big, err := c.Acquire(context.Background(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.InUse != 4 {
+		t.Fatalf("clamped cost: %+v", st)
+	}
+	done := make(chan struct{})
+	go func() {
+		r, err := c.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Errorf("small after big: %v", err)
+		} else {
+			r()
+		}
+		close(done)
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+	big()
+	<-done
+	if st := c.Stats(); st.InUse != 0 {
+		t.Fatalf("units leaked: %+v", st)
+	}
+}
+
+func TestEffectiveEFDegradation(t *testing.T) {
+	c := New(Config{Capacity: 1, QueueDepth: 10, PressureThreshold: 0.5})
+	// No pressure: no clamp.
+	if ef, clamped := c.EffectiveEF(200, 20); ef != 200 || clamped {
+		t.Fatalf("idle clamp: ef=%d clamped=%v", ef, clamped)
+	}
+	// Fill the queue to raise pressure past the threshold.
+	release, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r, err := c.Acquire(ctx, 1); err == nil {
+				r()
+			}
+		}()
+	}
+	waitFor(t, func() bool { return c.Stats().Queued == 10 })
+	if p := c.Pressure(); p != 1 {
+		t.Fatalf("pressure = %v, want 1", p)
+	}
+	// Full pressure: ef lands on the floor, and the clamp is reported.
+	if ef, clamped := c.EffectiveEF(200, 20); ef != 20 || !clamped {
+		t.Fatalf("full-pressure clamp: ef=%d clamped=%v", ef, clamped)
+	}
+	// Requests already at or below the floor are never clamped.
+	if ef, clamped := c.EffectiveEF(15, 20); ef != 15 || clamped {
+		t.Fatalf("below-floor clamp: ef=%d clamped=%v", ef, clamped)
+	}
+	cancel()
+	wg.Wait()
+	release()
+}
+
+func TestEffectiveEFMonotoneInPressure(t *testing.T) {
+	c := New(Config{Capacity: 1, QueueDepth: 8, PressureThreshold: 0.25})
+	release, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	prev := 1 << 30
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r, err := c.Acquire(ctx, 1); err == nil {
+				r()
+			}
+		}()
+		waitFor(t, func() bool { return c.Stats().Queued == i+1 })
+		ef, _ := c.EffectiveEF(400, 40)
+		if ef > prev {
+			t.Fatalf("ef rose with pressure: %d after %d", ef, prev)
+		}
+		if ef < 40 {
+			t.Fatalf("ef %d fell below floor", ef)
+		}
+		prev = ef
+	}
+	cancel()
+	wg.Wait()
+	release()
+}
+
+// TestConcurrentHammering drives the limiter from many goroutines under
+// -race: the capacity invariant must hold at every instant and no unit
+// may leak, whatever mix of grants, sheds, and cancellations happens.
+func TestConcurrentHammering(t *testing.T) {
+	const capacity = 8
+	c := New(Config{Capacity: capacity, QueueDepth: 4})
+	var inFlight atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(w%3)*time.Millisecond)
+				cost := 1 + w%3
+				release, err := c.Acquire(ctx, cost)
+				if err == nil {
+					n := inFlight.Add(int64(cost))
+					if n > capacity {
+						t.Errorf("capacity exceeded: %d units in flight", n)
+					}
+					inFlight.Add(-int64(cost))
+					release()
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.InUse != 0 || st.Queued != 0 {
+		t.Fatalf("leaked state after hammering: %+v", st)
+	}
+	if st.Admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ngfix/internal/graph"
@@ -60,6 +61,15 @@ type OnlineFixer struct {
 	shed         int
 	walErrs      int
 	lastWALErr   error
+
+	// dim is immutable for the fixer's lifetime; nvec tracks the vector
+	// count (monotone: deletes are tombstones). Both are readable without
+	// the lock so request validation stays responsive even while a
+	// stalled mutation (e.g. a slow-disk WAL append) holds mu — the whole
+	// point of admission control is to shed load before the lock, and
+	// that requires the pre-lock path to never block on it.
+	dim  int
+	nvec atomic.Int64
 
 	searchers sync.Pool
 }
@@ -144,7 +154,9 @@ func NewOnlineFixer(ix *Index, cfg OnlineConfig) *OnlineFixer {
 		wal:         cfg.WAL,
 		snapBatches: cfg.SnapshotEveryBatches,
 		snapMuts:    cfg.SnapshotEveryMutations,
+		dim:         ix.G.Dim(),
 	}
+	o.nvec.Store(int64(ix.G.Len()))
 	o.searchers.New = func() interface{} { return graph.NewSearcher(ix.G) }
 	return o
 }
@@ -154,9 +166,19 @@ func NewOnlineFixer(ix *Index, cfg OnlineConfig) *OnlineFixer {
 // recorded query is shed to make room — the freshest traffic is the most
 // valuable repair signal. Safe for concurrent use.
 func (o *OnlineFixer) Search(q []float32, k, ef int) ([]graph.Result, graph.Stats) {
+	return o.SearchCtx(nil, q, k, ef)
+}
+
+// SearchCtx is Search with cooperative cancellation (nil ctx never
+// cancels): when ctx ends mid-search — client disconnect, server budget
+// expired — the beam search stops within a few hops and returns the best
+// results found so far with Stats.Truncated set. A truncated query is
+// still recorded for fixing: the query vector is a valid repair signal
+// regardless of how much of its search the client waited for.
+func (o *OnlineFixer) SearchCtx(ctx context.Context, q []float32, k, ef int) ([]graph.Result, graph.Stats) {
 	o.mu.RLock()
 	s := o.searchers.Get().(*graph.Searcher)
-	res, st := s.SearchFrom(q, k, ef, o.ix.G.EntryPoint)
+	res, st := s.SearchFromCtx(ctx, q, k, ef, o.ix.G.EntryPoint)
 	o.searchers.Put(s)
 	o.mu.RUnlock()
 
@@ -250,11 +272,17 @@ func (o *OnlineFixer) OnlineStats() OnlineStats {
 	return st
 }
 
-// Dim returns the index dimensionality under the fixer's lock.
-func (o *OnlineFixer) Dim() int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.ix.G.Dim()
+// Dim returns the index dimensionality. Dimensionality is immutable for
+// the fixer's lifetime, so this never touches the lock — request
+// validation must stay responsive even while a stalled write holds it.
+func (o *OnlineFixer) Dim() int { return o.dim }
+
+// Len returns the vector count from an atomic maintained by the mutation
+// paths — no lock, so validation can consult it during a write stall.
+// The count is monotone non-decreasing (deletes are tombstones), so a
+// marginally stale read is harmless.
+func (o *OnlineFixer) Len() int {
+	return int(o.nvec.Load())
 }
 
 // Degraded reports whether the durability sink is in a failed state: a
@@ -351,6 +379,7 @@ func (o *OnlineFixer) InsertChecked(v []float32) (uint32, error) {
 	defer o.pmu.Unlock()
 	o.mu.Lock()
 	id := o.ix.Insert(v)
+	o.nvec.Store(int64(o.ix.G.Len()))
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
 	var err error
 	snap := false
@@ -415,6 +444,7 @@ func (o *OnlineFixer) PurgeAndRepair(k, efTruth int) PurgeReport {
 	defer o.pmu.Unlock()
 	o.mu.Lock()
 	rep := o.ix.PurgeAndRepair(k, efTruth)
+	o.nvec.Store(int64(o.ix.G.Len()))
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
 	o.mu.Unlock()
 	if o.wal != nil && rep.Purged > 0 {
@@ -478,6 +508,10 @@ func (o *OnlineFixer) noteWALErr(err error) {
 // first success. logf (nil to discard) receives progress and failure
 // lines. This replaces the bare time.Tick loop, which leaked its ticker
 // and died with its goroutine on the first panic.
+//
+// Cancellation is honored even mid-backoff: the cadence sleep and the
+// retry sleep share the one select below, so a shutdown signal during a
+// minute-long backoff returns promptly instead of after the sleep.
 func (o *OnlineFixer) RunBackground(ctx context.Context, interval time.Duration, logf func(format string, args ...interface{})) {
 	if interval <= 0 {
 		interval = time.Second

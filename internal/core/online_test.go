@@ -396,6 +396,111 @@ func TestBackoffDelay(t *testing.T) {
 	}
 }
 
+// BackoffDelay must be safe at any failure count and any jitter draw:
+// within [0.75×base, 1.25×cap] bounds, monotone (non-decreasing) growth
+// for a fixed draw, and no overflow however many failures accumulate.
+func TestBackoffDelayBounds(t *testing.T) {
+	base := 50 * time.Millisecond
+	cap := time.Minute
+	for _, u := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		prev := time.Duration(0)
+		for fails := 1; fails <= 64; fails++ {
+			d := BackoffDelay(base, fails, u)
+			if d <= 0 {
+				t.Fatalf("fails=%d u=%v: non-positive delay %s", fails, u, d)
+			}
+			if lo := time.Duration(0.75 * float64(base)); d < lo {
+				t.Fatalf("fails=%d u=%v: delay %s below jittered base %s", fails, u, d, lo)
+			}
+			if hi := time.Duration(1.25 * float64(cap)); d > hi {
+				t.Fatalf("fails=%d u=%v: delay %s above jittered cap %s", fails, u, d, hi)
+			}
+			if d < prev {
+				t.Fatalf("fails=%d u=%v: delay %s shrank from %s", fails, u, d, prev)
+			}
+			prev = d
+		}
+	}
+	// Absurd failure counts must not overflow the shift or the duration.
+	for _, fails := range []int{1 << 20, 1 << 40, int(^uint(0) >> 1)} {
+		d := BackoffDelay(base, fails, 0.999)
+		if d <= 0 || d > time.Duration(1.25*float64(cap)) {
+			t.Fatalf("fails=%d: delay %s out of bounds", fails, d)
+		}
+	}
+}
+
+// A cancelled search must stop within a few hops, return the partial
+// results it has, flag the truncation — and still record the query as
+// repair signal.
+func TestOnlineFixerSearchCtxTruncates(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 15}}, LEx: 32})
+	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 50})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, st := o.SearchCtx(ctx, d.History.Row(0), 10, 100)
+	if !st.Truncated {
+		t.Fatal("cancelled search not flagged Truncated")
+	}
+	if st.Hops != 0 {
+		t.Fatalf("cancelled search expanded %d hops", st.Hops)
+	}
+	if len(res) > 1 {
+		t.Fatalf("cancelled search returned %d results", len(res))
+	}
+	if o.Pending() != 1 {
+		t.Fatalf("truncated query not recorded: pending %d", o.Pending())
+	}
+	// An uncancelled context leaves searches untouched.
+	res, st = o.SearchCtx(context.Background(), d.History.Row(1), 10, 100)
+	if st.Truncated || len(res) != 10 {
+		t.Fatalf("live-context search: truncated=%v results=%d", st.Truncated, len(res))
+	}
+}
+
+// Cancellation during a backoff sleep must return promptly — a shutdown
+// signal cannot wait out a minute-long retry delay.
+func TestRunBackgroundCancelDuringBackoff(t *testing.T) {
+	d, g := testWorkload(t)
+	ix := New(g, Options{Rounds: []Round{{K: 15}}, LEx: 32})
+	wal := &recordingWAL{fail: errTestWAL}
+	o := NewOnlineFixer(ix, OnlineConfig{BatchSize: 10, WAL: wal})
+	for qi := 0; qi < 10; qi++ {
+		o.Search(d.History.Row(qi), 5, 15)
+	}
+
+	// With a 1s cadence the first (failing) attempt schedules a backoff
+	// sleep of at least 750ms; cancelling right after the failure line
+	// must not wait it out.
+	failed := make(chan struct{})
+	var once sync.Once
+	logf := func(format string, args ...interface{}) {
+		if strings.Contains(format, "online fix failed") {
+			once.Do(func() { close(failed) })
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		o.RunBackground(ctx, time.Second, logf)
+		close(done)
+	}()
+	select {
+	case <-failed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("fix failure never happened")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("RunBackground did not return promptly from a backoff sleep")
+	}
+}
+
 // The background loop must survive a failing fix attempt: back off, log,
 // retry, and report recovery — not die like the old time.Tick goroutine.
 func TestRunBackgroundRetriesAfterFailure(t *testing.T) {

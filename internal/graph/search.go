@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"context"
+
 	"ngfix/internal/minheap"
 	"ngfix/internal/vec"
 )
@@ -17,7 +19,16 @@ type Stats struct {
 	NDC int64
 	// Hops is the number of vertices whose neighbor lists were expanded.
 	Hops int
+	// Truncated reports that the search stopped early because its context
+	// was cancelled or its deadline fired; the results are the best found
+	// so far, not the full beam-search answer.
+	Truncated bool
 }
+
+// cancelCheckEvery is how many hop expansions pass between context
+// checks: frequent enough that a cancelled search stops within
+// microseconds, rare enough that the check is invisible in the profile.
+const cancelCheckEvery = 32
 
 // Searcher holds reusable per-goroutine scratch for beam searches over one
 // graph. It is not safe for concurrent use; create one per worker.
@@ -52,13 +63,28 @@ func (s *Searcher) Search(q []float32, k, L int) ([]Result, Stats) {
 	return s.SearchFrom(q, k, L, s.g.EntryPoint)
 }
 
-// SearchFrom is Search with an explicit entry vertex.
-//
-// This is the paper's Algorithm 1 (greedy / beam search): a candidate
-// min-heap seeded with the entry point, a bounded result set of size L;
-// each step expands the closest unexpanded candidate and stops when that
-// candidate is farther than the worst result.
+// SearchCtx is Search with cooperative cancellation; see SearchFromCtx.
+func (s *Searcher) SearchCtx(ctx context.Context, q []float32, k, L int) ([]Result, Stats) {
+	return s.SearchFromCtx(ctx, q, k, L, s.g.EntryPoint)
+}
+
+// SearchFrom is Search with an explicit entry vertex; it never truncates.
 func (s *Searcher) SearchFrom(q []float32, k, L int, entry uint32) ([]Result, Stats) {
+	return s.SearchFromCtx(nil, q, k, L, entry)
+}
+
+// SearchFromCtx is the paper's Algorithm 1 (greedy / beam search) with
+// cooperative cancellation: a candidate min-heap seeded with the entry
+// point, a bounded result set of size L; each step expands the closest
+// unexpanded candidate and stops when that candidate is farther than the
+// worst result.
+//
+// ctx (nil means never cancelled) is polled every cancelCheckEvery hop
+// expansions; when it is cancelled or past its deadline the search stops
+// where it stands and returns the best results found so far with
+// Stats.Truncated set — a client that disconnects or a server budget that
+// expires costs at most a few more hops, never a full search.
+func (s *Searcher) SearchFromCtx(ctx context.Context, q []float32, k, L int, entry uint32) ([]Result, Stats) {
 	g := s.g
 	if g.Len() == 0 {
 		return nil, Stats{}
@@ -91,6 +117,10 @@ func (s *Searcher) SearchFrom(q []float32, k, L int, entry uint32) ([]Result, St
 	}
 
 	for s.cand.Len() > 0 {
+		if ctx != nil && st.Hops%cancelCheckEvery == 0 && ctx.Err() != nil {
+			st.Truncated = true
+			break
+		}
 		cur := s.cand.Pop()
 		if worst, ok := s.results.MaxDist(); ok && s.results.Full() && cur.Dist > worst {
 			break

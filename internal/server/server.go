@@ -26,23 +26,49 @@
 // of an ack, and /readyz turns 503 ("durability degraded") until a
 // snapshot succeeds — so clients and load balancers learn about at-risk
 // writes immediately instead of after a crash.
+//
+// Overload protection: when an admission.Controller is wired in, every
+// index-touching request (search, insert, delete, fix, purge) acquires
+// weighted admission first — search cost scales with ef, so one huge
+// query counts like several ordinary ones. Requests beyond capacity wait
+// in a bounded FIFO queue; past that the server sheds with 429 and a
+// Retry-After hint instead of stacking goroutines. SearchTimeout bounds
+// both the queue wait and the search itself: a search whose budget fires
+// mid-beam returns the best results found so far with "truncated": true,
+// and a disconnected client stops burning CPU within a few hops. Under
+// queue pressure the effective ef shrinks toward EFFloor (reported as
+// "clamped" in the response and counted on /v1/stats) — recall degrades
+// gracefully before availability does.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
+	"time"
 
+	"ngfix/internal/admission"
 	"ngfix/internal/core"
 )
 
 // DefaultMaxBodyBytes caps request bodies when Server.MaxBodyBytes is
 // unset: generous for high-dimensional vectors, far below OOM territory.
 const DefaultMaxBodyBytes int64 = 8 << 20
+
+// Admission costs for fixed-work endpoints, in the limiter's units (one
+// unit ≈ one standard search). Mutations are short lock-bound sections;
+// fix and purge batches hold the write lock much longer.
+const (
+	mutationCost    = 1
+	maintenanceCost = 4
+)
 
 // Server wires an OnlineFixer to an http.Handler.
 type Server struct {
@@ -58,9 +84,22 @@ type Server struct {
 	// SnapshotFunc backs POST /v1/snapshot; when nil the endpoint
 	// reports 501 Not Implemented.
 	SnapshotFunc func() error
+	// Admission, when non-nil, governs every index-touching request:
+	// bounded concurrency, bounded queueing, 429 shedding past that.
+	Admission *admission.Controller
+	// SearchTimeout is the per-request server budget: it bounds the
+	// admission wait for every governed request and the beam search
+	// itself (which truncates when it fires). 0 disables the budget;
+	// client disconnects still cancel searches either way.
+	SearchTimeout time.Duration
+	// EFFloor is the lowest effective ef the pressure-degradation policy
+	// may clamp a search to; 0 disables clamping.
+	EFFloor int
 
-	ready    atomic.Bool
-	draining atomic.Bool
+	ready     atomic.Bool
+	draining  atomic.Bool
+	truncated atomic.Int64
+	clamped   atomic.Int64
 }
 
 // New builds a Server around an online fixer. The server starts not
@@ -68,11 +107,13 @@ type Server struct {
 // listener is up, so /readyz tells load balancers the truth.
 func New(fixer *core.OnlineFixer) *Server {
 	s := &Server{fixer: fixer, mux: http.NewServeMux(), DefaultK: 10, DefaultEF: 100}
+	// Search governs itself (its admission cost depends on the decoded
+	// ef); fixed-work endpoints go through the governed middleware.
 	s.mux.HandleFunc("/v1/search", s.method(http.MethodPost, s.handleSearch))
-	s.mux.HandleFunc("/v1/insert", s.method(http.MethodPost, s.handleInsert))
-	s.mux.HandleFunc("/v1/delete", s.method(http.MethodPost, s.handleDelete))
-	s.mux.HandleFunc("/v1/fix", s.method(http.MethodPost, s.handleFix))
-	s.mux.HandleFunc("/v1/purge", s.method(http.MethodPost, s.handlePurge))
+	s.mux.HandleFunc("/v1/insert", s.method(http.MethodPost, s.governed(mutationCost, s.handleInsert)))
+	s.mux.HandleFunc("/v1/delete", s.method(http.MethodPost, s.governed(mutationCost, s.handleDelete)))
+	s.mux.HandleFunc("/v1/fix", s.method(http.MethodPost, s.governed(maintenanceCost, s.handleFix)))
+	s.mux.HandleFunc("/v1/purge", s.method(http.MethodPost, s.governed(maintenanceCost, s.handlePurge)))
 	s.mux.HandleFunc("/v1/snapshot", s.method(http.MethodPost, s.handleSnapshot))
 	s.mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))
 	s.mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealthz))
@@ -145,12 +186,73 @@ func (s *Server) method(verb string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// SearchRequest is the /v1/search body.
+// governed is the admission middleware for fixed-cost endpoints: acquire
+// cost units (waiting in the bounded FIFO queue, within the request
+// budget) before running the handler, shed with 429 otherwise. A nil
+// Admission controller makes it a pass-through.
+func (s *Server) governed(cost int, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Admission == nil {
+			h(w, r)
+			return
+		}
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		release, err := s.Admission.Acquire(ctx, cost)
+		if err != nil {
+			s.shedResponse(w, err)
+			return
+		}
+		defer release()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// requestContext derives the per-request deadline from the server budget
+// on top of the connection context (which already cancels when the
+// client disconnects).
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.SearchTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.SearchTimeout)
+}
+
+// shedResponse answers an admission failure: 429 with a Retry-After hint
+// so well-behaved clients back off instead of hammering a saturated
+// server. Queue-wait budget expiry gets the same answer — from the
+// client's point of view both mean "overloaded right now, come back".
+func (s *Server) shedResponse(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.httpError(w, http.StatusTooManyRequests, fmt.Errorf("overloaded: %v", err))
+}
+
+// retryAfterSeconds hints how long a shed client should wait: roughly
+// one server budget, at least a second.
+func (s *Server) retryAfterSeconds() int {
+	if s.SearchTimeout <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(s.SearchTimeout.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// SearchRequest is the /v1/search body. K and EF are pointers so the
+// server can tell "omitted, use the default" from an explicit bad value:
+// strict validation rejects k ≤ 0, ef ≤ 0, ef < k, and ef beyond the
+// graph size with 400 instead of silently clamping deep in the search
+// stack.
 type SearchRequest struct {
 	Vector []float32 `json:"vector"`
-	K      int       `json:"k,omitempty"`
-	EF     int       `json:"ef,omitempty"`
+	K      *int      `json:"k,omitempty"`
+	EF     *int      `json:"ef,omitempty"`
 }
+
+// IntPtr is a convenience for building requests with explicit k/ef.
+func IntPtr(v int) *int { return &v }
 
 // SearchHit is one result row.
 type SearchHit struct {
@@ -162,6 +264,14 @@ type SearchHit struct {
 type SearchResponse struct {
 	Results []SearchHit `json:"results"`
 	NDC     int64       `json:"ndc"`
+	// Truncated reports that the server budget (or the client's
+	// disconnect) stopped the search early: Results is the best found so
+	// far, not the full beam-search answer.
+	Truncated bool `json:"truncated,omitempty"`
+	// EFUsed is the search-list size actually run; Clamped marks that
+	// overload pressure shrank it below the requested (or default) ef.
+	EFUsed  int  `json:"efUsed"`
+	Clamped bool `json:"clamped,omitempty"`
 }
 
 // InsertRequest is the /v1/insert body.
@@ -209,6 +319,19 @@ type SnapshotResponse struct {
 	OK bool `json:"ok"`
 }
 
+// AdmissionStatsResponse is the overload-protection block of /v1/stats.
+type AdmissionStatsResponse struct {
+	Capacity   int     `json:"capacity"`
+	InUse      int     `json:"inUse"`
+	Queued     int     `json:"queued"`
+	QueueDepth int     `json:"queueDepth"`
+	MaxQueued  int     `json:"maxQueued"`
+	Pressure   float64 `json:"pressure"`
+	Admitted   uint64  `json:"admitted"`
+	Shed       uint64  `json:"shed"`
+	TimedOut   uint64  `json:"timedOut"`
+}
+
 // StatsResponse is the /v1/stats reply.
 type StatsResponse struct {
 	Vectors      int     `json:"vectors"`
@@ -225,6 +348,12 @@ type StatsResponse struct {
 	ShedQueries  int     `json:"shedQueries"`
 	WALErrors    int     `json:"walErrors"`
 	LastWALError string  `json:"lastWALError,omitempty"`
+	// Overload counters: searches that returned partial results because
+	// their budget fired, and searches whose ef was shrunk by pressure.
+	TruncatedSearches int64 `json:"truncatedSearches"`
+	ClampedSearches   int64 `json:"clampedSearches"`
+	// Admission is present when an overload controller is configured.
+	Admission *AdmissionStatsResponse `json:"admission,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -236,20 +365,74 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	k := req.K
-	if k <= 0 {
-		k = s.DefaultK
+	k, ef, err := s.searchParams(req)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
 	}
-	ef := req.EF
-	if ef <= 0 {
-		ef = s.DefaultEF
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	clamped := false
+	if s.Admission != nil {
+		// Degrade before admitting: a clamped search asks for fewer cost
+		// units, so quality reduction directly raises throughput.
+		if eff, cl := s.Admission.EffectiveEF(ef, s.EFFloor); cl {
+			ef, clamped = eff, true
+			s.clamped.Add(1)
+		}
+		release, err := s.Admission.Acquire(ctx, s.Admission.SearchCost(ef))
+		if err != nil {
+			s.shedResponse(w, err)
+			return
+		}
+		defer release()
 	}
-	res, st := s.fixer.Search(req.Vector, k, ef)
-	resp := SearchResponse{NDC: st.NDC, Results: make([]SearchHit, len(res))}
+
+	res, st := s.fixer.SearchCtx(ctx, req.Vector, k, ef)
+	if st.Truncated {
+		s.truncated.Add(1)
+	}
+	resp := SearchResponse{
+		NDC: st.NDC, Truncated: st.Truncated,
+		EFUsed: ef, Clamped: clamped,
+		Results: make([]SearchHit, len(res)),
+	}
 	for i, h := range res {
 		resp.Results[i] = SearchHit{ID: h.ID, Dist: h.Dist}
 	}
 	s.writeJSON(w, resp)
+}
+
+// searchParams resolves and strictly validates k and ef. Omitted values
+// take the server defaults; explicit values must make sense — k ≥ 1,
+// ef ≥ k, and ef no larger than the graph itself (a bigger list cannot
+// improve recall, it only burns a bounded-capacity admission slot).
+func (s *Server) searchParams(req SearchRequest) (k, ef int, err error) {
+	k = s.DefaultK
+	if req.K != nil {
+		if *req.K <= 0 {
+			return 0, 0, fmt.Errorf("k must be at least 1, got %d", *req.K)
+		}
+		k = *req.K
+	}
+	ef = s.DefaultEF
+	if ef < k {
+		ef = k
+	}
+	if req.EF != nil {
+		if *req.EF <= 0 {
+			return 0, 0, fmt.Errorf("ef must be at least 1, got %d", *req.EF)
+		}
+		if *req.EF < k {
+			return 0, 0, fmt.Errorf("ef (%d) must be at least k (%d)", *req.EF, k)
+		}
+		if n := s.fixer.Len(); n > 0 && *req.EF > n {
+			return 0, 0, fmt.Errorf("ef (%d) exceeds the graph size (%d vectors)", *req.EF, n)
+		}
+		ef = *req.EF
+	}
+	return k, ef, nil
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -327,6 +510,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// One OnlineStats call: graph numbers must come from under the
 	// fixer's lock, never from unlocked reads through Index().
 	ost := s.fixer.OnlineStats()
+	var adm *AdmissionStatsResponse
+	if s.Admission != nil {
+		ast := s.Admission.Stats()
+		adm = &AdmissionStatsResponse{
+			Capacity: ast.Capacity, InUse: ast.InUse,
+			Queued: ast.Queued, QueueDepth: ast.QueueDepth, MaxQueued: ast.MaxQueued,
+			Pressure: ast.Pressure,
+			Admitted: ast.Admitted, Shed: ast.Shed, TimedOut: ast.TimedOut,
+		}
+	}
 	s.writeJSON(w, StatsResponse{
 		Vectors:      ost.Vectors,
 		Live:         ost.Live,
@@ -342,6 +535,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ShedQueries:  ost.ShedQueries,
 		WALErrors:    ost.WALErrors,
 		LastWALError: ost.LastWALError,
+
+		TruncatedSearches: s.truncated.Load(),
+		ClampedSearches:   s.clamped.Load(),
+		Admission:         adm,
 	})
 }
 

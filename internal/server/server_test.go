@@ -76,7 +76,7 @@ func post(t *testing.T, url string, body interface{}, out interface{}) *http.Res
 func TestSearchEndpoint(t *testing.T) {
 	ts, d := newTestServer(t)
 	var out SearchResponse
-	resp := post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.TestOOD.Row(0), K: 5, EF: 30}, &out)
+	resp := post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.TestOOD.Row(0), K: IntPtr(5), EF: IntPtr(30)}, &out)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
@@ -128,6 +128,50 @@ func TestSearchValidation(t *testing.T) {
 	}
 }
 
+// Strict k/ef validation: explicit nonsense is a clear 400 at the edge,
+// never a silent clamp deep in the search stack. Omitted values still
+// take the server defaults (TestSearchEndpoint covers that).
+func TestSearchParamValidation(t *testing.T) {
+	ts, d := newTestServer(t) // 500-vector index
+	v := d.TestOOD.Row(0)
+	bad := []struct {
+		name string
+		req  SearchRequest
+		want string
+	}{
+		{"k zero", SearchRequest{Vector: v, K: IntPtr(0)}, "k must be at least 1"},
+		{"k negative", SearchRequest{Vector: v, K: IntPtr(-3)}, "k must be at least 1"},
+		{"ef zero", SearchRequest{Vector: v, EF: IntPtr(0)}, "ef must be at least 1"},
+		{"ef below k", SearchRequest{Vector: v, K: IntPtr(20), EF: IntPtr(10)}, "must be at least k"},
+		{"ef beyond graph", SearchRequest{Vector: v, K: IntPtr(5), EF: IntPtr(501)}, "exceeds the graph size"},
+	}
+	for _, c := range bad {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(c.req); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/search", "application/json", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+		if err != nil || !strings.Contains(body["error"], c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, body["error"], c.want)
+		}
+	}
+	// The largest legal explicit ef (= graph size) still works.
+	var sr SearchResponse
+	resp := post(t, ts.URL+"/v1/search", SearchRequest{Vector: v, K: IntPtr(5), EF: IntPtr(500)}, &sr)
+	if resp.StatusCode != http.StatusOK || len(sr.Results) != 5 || sr.EFUsed != 500 {
+		t.Fatalf("ef=graph-size search: status %d results %d efUsed %d", resp.StatusCode, len(sr.Results), sr.EFUsed)
+	}
+}
+
 func TestInsertDeletePurgeFlow(t *testing.T) {
 	ts, d := newTestServer(t)
 	var ins InsertResponse
@@ -139,7 +183,7 @@ func TestInsertDeletePurgeFlow(t *testing.T) {
 	}
 	// New point is findable.
 	var sr SearchResponse
-	post(t, ts.URL+"/v1/search", SearchRequest{Vector: v, K: 1, EF: 30}, &sr)
+	post(t, ts.URL+"/v1/search", SearchRequest{Vector: v, K: IntPtr(1), EF: IntPtr(30)}, &sr)
 	if len(sr.Results) == 0 || sr.Results[0].ID != 500 {
 		t.Fatalf("inserted point not top-1: %+v", sr.Results)
 	}
@@ -164,7 +208,7 @@ func TestInsertDeletePurgeFlow(t *testing.T) {
 		t.Fatalf("purged %d, want 1", pr.Purged)
 	}
 	// Deleted point no longer returned.
-	post(t, ts.URL+"/v1/search", SearchRequest{Vector: v, K: 3, EF: 30}, &sr)
+	post(t, ts.URL+"/v1/search", SearchRequest{Vector: v, K: IntPtr(3), EF: IntPtr(30)}, &sr)
 	for _, h := range sr.Results {
 		if h.ID == 500 {
 			t.Fatal("purged point returned")
@@ -177,7 +221,7 @@ func TestFixAndStatsEndpoints(t *testing.T) {
 	// Serve some queries to populate the fix buffer.
 	for qi := 0; qi < 20; qi++ {
 		var sr SearchResponse
-		post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.History.Row(qi), K: 5, EF: 30}, &sr)
+		post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.History.Row(qi), K: IntPtr(5), EF: IntPtr(30)}, &sr)
 	}
 	var st StatsResponse
 	resp, err := http.Get(ts.URL + "/v1/stats")
@@ -322,7 +366,7 @@ func TestPanicRecovery(t *testing.T) {
 	}
 	// The process survived: normal serving continues.
 	var sr SearchResponse
-	resp = post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.TestOOD.Row(0), K: 3, EF: 30}, &sr)
+	resp = post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.TestOOD.Row(0), K: IntPtr(3), EF: IntPtr(30)}, &sr)
 	if resp.StatusCode != http.StatusOK || len(sr.Results) != 3 {
 		t.Fatalf("serving broken after panic: status %d, %d results", resp.StatusCode, len(sr.Results))
 	}
@@ -408,7 +452,7 @@ func TestConcurrentServing(t *testing.T) {
 			for i := 0; i < 40; i++ {
 				var sr SearchResponse
 				q := d.History.Row((i*3 + w) % d.History.Rows())
-				code, err := postJSON("/v1/search", SearchRequest{Vector: q, K: 5, EF: 30}, &sr)
+				code, err := postJSON("/v1/search", SearchRequest{Vector: q, K: IntPtr(5), EF: IntPtr(30)}, &sr)
 				if err != nil || code != http.StatusOK || len(sr.Results) == 0 {
 					fail(fmt.Errorf("search worker %d: code %d err %v results %d", w, code, err, len(sr.Results)))
 					return
@@ -555,7 +599,7 @@ func TestDurabilityDegradationSurfaced(t *testing.T) {
 	}
 	// Searches keep serving — degradation sheds routing, not reads.
 	var sr SearchResponse
-	if resp := post(t, ts.URL+"/v1/search", SearchRequest{Vector: v, K: 3, EF: 30}, &sr); resp.StatusCode != http.StatusOK || len(sr.Results) == 0 {
+	if resp := post(t, ts.URL+"/v1/search", SearchRequest{Vector: v, K: IntPtr(3), EF: IntPtr(30)}, &sr); resp.StatusCode != http.StatusOK || len(sr.Results) == 0 {
 		t.Fatalf("search while degraded: status %d, %d results", resp.StatusCode, len(sr.Results))
 	}
 	// The incident is on the stats.
