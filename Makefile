@@ -4,7 +4,7 @@ GO ?= go
 # must stay clean under the race detector.
 RACE_PKGS = ./internal/core ./internal/server ./internal/persist ./internal/admission
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-go
 
 ## check: everything CI would run — vet, build, race-sensitive packages
 ## under -race, then the full test suite (including the e2e server
@@ -23,5 +23,16 @@ race:
 test:
 	$(GO) test ./...
 
+# BENCHARGS=-short shrinks sizes and timing windows for CI.
+BENCHARGS ?=
+
+## bench: run the perf harness on this machine, writing BENCH_kernels.json
+## and BENCH_search.json. Each file contains both dispatch arms (scalar
+## and SIMD) measured in the same process — a before/after from one run.
 bench:
+	$(GO) run ./cmd/ngfix-bench -perf kernels -json BENCH_kernels.json $(BENCHARGS)
+	$(GO) run ./cmd/ngfix-bench -perf search -json BENCH_search.json $(BENCHARGS)
+
+## bench-go: the stdlib testing benchmarks, unchanged.
+bench-go:
 	$(GO) test -bench=. -benchmem

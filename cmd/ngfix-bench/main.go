@@ -6,6 +6,13 @@
 //	ngfix-bench [-scale S] [-out FILE] all
 //	ngfix-bench [-scale S] [-out FILE] fig8 fig12 table1 ...
 //	ngfix-bench -list
+//	ngfix-bench -perf kernels|search [-json FILE] [-short]
+//
+// The -perf modes run the performance harness instead of a paper exhibit:
+// "kernels" micro-benchmarks the distance kernels on every dispatch arm,
+// "search" sweeps beam search end to end. Both emit JSON (to -json FILE,
+// or stdout) with fixed-seed inputs; `make bench` drives them to produce
+// BENCH_kernels.json and BENCH_search.json.
 //
 // Scale multiplies the default dataset sizes (1.0 ≈ 8k base points); the
 // shapes the paper reports hold across scales, larger runs just sharpen
@@ -21,13 +28,22 @@ import (
 
 	"ngfix/internal/bench"
 	"ngfix/internal/dataset"
+	"ngfix/internal/vec"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default sizes)")
 	out := flag.String("out", "", "write results to this file instead of stdout")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	perf := flag.String("perf", "", "run the perf harness instead: kernels | search")
+	jsonOut := flag.String("json", "", "with -perf: write the JSON report to this file")
+	short := flag.Bool("short", false, "with -perf: smaller sizes / shorter timing windows (CI)")
 	flag.Parse()
+
+	if *perf != "" {
+		runPerf(*perf, *jsonOut, *short)
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -79,5 +95,48 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "  done in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runPerf dispatches the -perf harness modes and writes the JSON report.
+func runPerf(mode, jsonPath string, short bool) {
+	var report interface{}
+	start := time.Now()
+	switch mode {
+	case "kernels":
+		fmt.Fprintf(os.Stderr, "perf: kernel micro-bench (short=%v, best kernel=%s)...\n",
+			short, vec.BestKernelName())
+		rep := bench.RunKernelBench(short)
+		for _, s := range rep.Speedups {
+			fmt.Fprintf(os.Stderr, "  %-8s dim=%-4d %.2fx\n", s.Op, s.Dim, s.Speedup)
+		}
+		report = rep
+	case "search":
+		fmt.Fprintf(os.Stderr, "perf: search macro-bench (short=%v, best kernel=%s)...\n",
+			short, vec.BestKernelName())
+		rep := bench.RunSearchBench(short)
+		if rep.QPSSpeedup > 0 {
+			fmt.Fprintf(os.Stderr, "  mean QPS speedup: %.2fx\n", rep.QPSSpeedup)
+		}
+		report = rep
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -perf mode %q (have: kernels, search)\n", mode)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "  done in %s\n", time.Since(start).Round(time.Millisecond))
+
+	var w io.Writer = os.Stdout
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := bench.WriteJSON(w, report); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

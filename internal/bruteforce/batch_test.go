@@ -1,0 +1,88 @@
+package bruteforce
+
+import (
+	"math/rand"
+	"testing"
+
+	"ngfix/internal/minheap"
+	"ngfix/internal/vec"
+)
+
+// referenceKNN is the seed implementation: one metric dispatch and one
+// distance evaluation per row. The chunked batch scan must match it
+// exactly — same kernel on the same pairs, same admission order.
+func referenceKNN(base *vec.Matrix, metric vec.Metric, q []float32, k int) []Neighbor {
+	h := minheap.NewBounded(k)
+	for i := 0; i < base.Rows(); i++ {
+		d := metric.Distance(q, base.Row(i))
+		if h.WouldAccept(d) {
+			h.Push(minheap.Item{ID: uint32(i), Dist: d})
+		}
+	}
+	items := h.SortedAscending()
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = Neighbor{ID: it.ID, Dist: it.Dist}
+	}
+	return out
+}
+
+func TestKNNBatchedMatchesReference(t *testing.T) {
+	arms := []bool{false}
+	if vec.SIMDAvailable() {
+		arms = append(arms, true)
+	}
+	defer vec.SetSIMD(true)
+	rng := rand.New(rand.NewSource(11))
+	for _, simd := range arms {
+		vec.SetSIMD(simd)
+		// Row counts straddle the chunk boundary on purpose.
+		for _, n := range []int{1, 5, 255, 256, 257, 1000} {
+			m := vec.NewMatrix(n, 9)
+			for i := 0; i < n; i++ {
+				r := m.Row(i)
+				for j := range r {
+					r[j] = rng.Float32()*2 - 1
+				}
+			}
+			q := make([]float32, 9)
+			for j := range q {
+				q[j] = rng.Float32()*2 - 1
+			}
+			for _, met := range []vec.Metric{vec.L2, vec.InnerProduct, vec.Cosine} {
+				got := KNN(m, met, q, 10, nil)
+				want := referenceKNN(m, met, q, 10)
+				if len(got) != len(want) {
+					t.Fatalf("simd=%v n=%d %s: %d results, want %d", simd, n, met, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("simd=%v n=%d %s result %d: %+v != %+v", simd, n, met, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKNNSkipPredicateUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := vec.NewMatrix(300, 6)
+	for i := 0; i < 300; i++ {
+		r := m.Row(i)
+		for j := range r {
+			r[j] = rng.Float32()
+		}
+	}
+	q := m.Row(0)
+	skip := func(id uint32) bool { return id%3 == 0 }
+	got := KNN(m, vec.L2, q, 7, skip)
+	for _, nb := range got {
+		if skip(nb.ID) {
+			t.Fatalf("skipped id %d in results", nb.ID)
+		}
+	}
+	if len(got) != 7 {
+		t.Fatalf("got %d results, want 7", len(got))
+	}
+}

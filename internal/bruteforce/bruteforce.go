@@ -18,18 +18,46 @@ type Neighbor struct {
 	Dist float32
 }
 
+// scanChunk is how many contiguous rows one batch kernel call scores.
+// Large enough to amortize dispatch, small enough that the distance
+// buffer stays in L1.
+const scanChunk = 256
+
 // KNN returns the k nearest rows of base to q in ascending distance.
 // Deleted ids can be excluded by passing a non-nil skip predicate.
+//
+// Without a skip predicate the scan runs in chunks through the batched
+// SIMD kernel (the rows are contiguous, so each chunk is one linear
+// streaming pass); with one, it falls back to scoring row by row so
+// skipped rows cost nothing.
 func KNN(base *vec.Matrix, metric vec.Metric, q []float32, k int, skip func(uint32) bool) []Neighbor {
 	h := minheap.NewBounded(k)
 	n := base.Rows()
-	for i := 0; i < n; i++ {
-		if skip != nil && skip(uint32(i)) {
-			continue
+	qd := vec.NewQueryDistancer(metric, q, nil)
+	if skip == nil {
+		var buf [scanChunk]float32
+		for lo := 0; lo < n; lo += scanChunk {
+			hi := lo + scanChunk
+			if hi > n {
+				hi = n
+			}
+			dists := buf[:hi-lo]
+			qd.RowDistancesRange(base, lo, hi, dists)
+			for i, d := range dists {
+				if h.WouldAccept(d) {
+					h.Push(minheap.Item{ID: uint32(lo + i), Dist: d})
+				}
+			}
 		}
-		d := metric.Distance(q, base.Row(i))
-		if h.WouldAccept(d) {
-			h.Push(minheap.Item{ID: uint32(i), Dist: d})
+	} else {
+		for i := 0; i < n; i++ {
+			if skip(uint32(i)) {
+				continue
+			}
+			d := qd.RowDistance(base, uint32(i))
+			if h.WouldAccept(d) {
+				h.Push(minheap.Item{ID: uint32(i), Dist: d})
+			}
 		}
 	}
 	items := h.SortedAscending()

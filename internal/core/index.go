@@ -245,9 +245,9 @@ func (ix *Index) FixQuery(q []float32, nn []uint32) QueryFixReport {
 
 // Insert adds a new base vector using HNSW-style level-0 insertion and
 // returns its id. Extra edges are untouched (the partial-rebuild step is
-// what refreshes them, per §5.5.1).
+// what refreshes them, per §5.5.1). The index's own searcher is reused
+// across inserts — its visited set grows with the graph — so streaming
+// ingest no longer allocates an O(n) scratch array per vector.
 func (ix *Index) Insert(v []float32) uint32 {
-	id := hnsw.InsertIntoGraph(ix.G, v, ix.opts.InsertM, ix.opts.InsertEF)
-	ix.s = graph.NewSearcher(ix.G) // vector count changed; refresh scratch
-	return id
+	return hnsw.InsertIntoGraphWith(ix.G, ix.s, v, ix.opts.InsertM, ix.opts.InsertEF)
 }

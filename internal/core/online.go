@@ -42,10 +42,18 @@ type OnlineFixer struct {
 	mu  sync.RWMutex
 	ix  *Index
 
-	pending   *vec.Matrix
+	// qmu guards the query-recording state (pending, counter, shed) only.
+	// Recording a served query is an append to a side buffer, not a graph
+	// mutation: putting it under mu.Lock() would serialize every
+	// concurrent reader behind every append. qmu is leaf-level — never
+	// acquire pmu or mu while holding it.
+	qmu     sync.Mutex
+	pending *vec.Matrix
+	counter int
+	shed    int
+
 	batchSize int
 	sampleN   int // record 1 of every sampleN queries
-	counter   int
 	autoFix   bool
 	prepEF    int
 	truthK    int
@@ -58,7 +66,6 @@ type OnlineFixer struct {
 
 	totalFixed   int
 	totalBatches int
-	shed         int
 	walErrs      int
 	lastWALErr   error
 
@@ -182,7 +189,10 @@ func (o *OnlineFixer) SearchCtx(ctx context.Context, q []float32, k, ef int) ([]
 	o.searchers.Put(s)
 	o.mu.RUnlock()
 
-	o.mu.Lock()
+	// Recording takes only the small query-buffer mutex: concurrent
+	// searches no longer queue behind the index write lock to append a
+	// few hundred bytes.
+	o.qmu.Lock()
 	o.counter++
 	if o.counter%o.sampleN == 0 {
 		if o.pending.Rows() >= o.batchSize {
@@ -192,7 +202,7 @@ func (o *OnlineFixer) SearchCtx(ctx context.Context, q []float32, k, ef int) ([]
 		o.pending.Append(q)
 	}
 	runNow := o.autoFix && o.pending.Rows() >= o.batchSize
-	o.mu.Unlock()
+	o.qmu.Unlock()
 	if runNow {
 		o.FixPending()
 	}
@@ -201,8 +211,8 @@ func (o *OnlineFixer) SearchCtx(ctx context.Context, q []float32, k, ef int) ([]
 
 // Pending returns how many recorded queries await fixing.
 func (o *OnlineFixer) Pending() int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
+	o.qmu.Lock()
+	defer o.qmu.Unlock()
 	return o.pending.Rows()
 }
 
@@ -247,6 +257,15 @@ type OnlineStats struct {
 // numbers while the fixer is live: the graph itself is mutated under the
 // fixer's write lock, so unlocked reads through Index() can tear.
 func (o *OnlineFixer) OnlineStats() OnlineStats {
+	// The recording counters live under their own mutex now; read them
+	// first (qmu is leaf-level, so it cannot be held across the mu
+	// acquisition below). Pending/Shed may drift a query relative to the
+	// graph counters between the two acquisitions — they are progress
+	// gauges, not invariants.
+	o.qmu.Lock()
+	pending, shed := o.pending.Rows(), o.shed
+	o.qmu.Unlock()
+
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	g := o.ix.G
@@ -260,10 +279,10 @@ func (o *OnlineFixer) OnlineStats() OnlineStats {
 		SizeBytes:    g.SizeBytes(),
 		BaseEdges:    base,
 		ExtraEdges:   extra,
-		Pending:      o.pending.Rows(),
+		Pending:      pending,
 		FixedQueries: o.totalFixed,
 		FixBatches:   o.totalBatches,
-		ShedQueries:  o.shed,
+		ShedQueries:  shed,
 		WALErrors:    o.walErrs,
 	}
 	if o.lastWALErr != nil {
@@ -313,14 +332,14 @@ func (o *OnlineFixer) FixPending() FixReport {
 // batch can fail independently, and background loops want to know so they
 // can back off and retry.
 func (o *OnlineFixer) FixPendingChecked() (FixReport, error) {
-	o.mu.Lock()
+	o.qmu.Lock()
 	batch := o.pending
 	if batch.Rows() == 0 {
-		o.mu.Unlock()
+		o.qmu.Unlock()
 		return FixReport{}, nil
 	}
-	o.pending = vec.NewMatrix(0, o.ix.G.Dim())
-	o.mu.Unlock()
+	o.pending = vec.NewMatrix(0, o.dim)
+	o.qmu.Unlock()
 
 	// Approximate truth under the read lock (concurrent with searches).
 	o.mu.RLock()

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"ngfix/internal/minheap"
+	"ngfix/internal/vec"
+)
+
+// referenceSearchFrom is a verbatim copy of the seed (pre-batching)
+// SearchFromCtx hot loop: per-neighbor expand closure, one distance
+// evaluation at a time through a DistanceCounter. The batched loop must
+// return byte-identical results (IDs, order, distances) and identical
+// stats on every graph, under whichever kernel set is active — it
+// evaluates the same distances on the same pairs in the same order, just
+// grouped into batch calls.
+func referenceSearchFrom(g *Graph, q []float32, k, L int, entry uint32, collect bool) ([]Result, Stats, []Result) {
+	if g.Len() == 0 {
+		return nil, Stats{}, nil
+	}
+	if L < k {
+		L = k
+	}
+	var st Stats
+	visited := minheap.NewVisited(g.Len())
+	cand := minheap.NewMin(256)
+	results := minheap.NewBounded(L)
+	var collected []Result
+
+	dc := vec.DistanceCounter{Metric: g.Metric}
+	entryDist := dc.Distance(q, g.Vectors.Row(int(entry)))
+	visited.Visit(entry)
+	if collect {
+		collected = append(collected, Result{ID: entry, Dist: entryDist})
+	}
+	cand.Push(minheap.Item{ID: entry, Dist: entryDist})
+	if !g.deleted[entry] {
+		results.Push(minheap.Item{ID: entry, Dist: entryDist})
+	}
+
+	for cand.Len() > 0 {
+		cur := cand.Pop()
+		if worst, ok := results.MaxDist(); ok && results.Full() && cur.Dist > worst {
+			break
+		}
+		st.Hops++
+		expand := func(v uint32) {
+			if visited.Visit(v) {
+				return
+			}
+			d := dc.Distance(q, g.Vectors.Row(int(v)))
+			if collect {
+				collected = append(collected, Result{ID: v, Dist: d})
+			}
+			if results.WouldAccept(d) {
+				cand.Push(minheap.Item{ID: v, Dist: d})
+				if !g.deleted[v] {
+					results.Push(minheap.Item{ID: v, Dist: d})
+				}
+			}
+		}
+		for _, v := range g.base[cur.ID] {
+			expand(v)
+		}
+		for _, e := range g.extra[cur.ID] {
+			expand(e.To)
+		}
+	}
+	st.NDC = dc.Count
+
+	items := results.SortedAscending()
+	if len(items) > k {
+		items = items[:k]
+	}
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{ID: it.ID, Dist: it.Dist}
+	}
+	return out, st, collected
+}
+
+// buildRandomGraph makes a reproducible messy graph: random vectors,
+// random base out-edges, random EH-tagged extra edges, and a sprinkling
+// of tombstones.
+func buildRandomGraph(t *testing.T, seed int64, n, dim int, met vec.Metric) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		r := m.Row(i)
+		for j := range r {
+			r[j] = rng.Float32()*2 - 1
+		}
+	}
+	g := New(m, met)
+	for u := 0; u < n; u++ {
+		deg := 2 + rng.Intn(8)
+		for d := 0; d < deg; d++ {
+			g.AddBaseEdge(uint32(u), uint32(rng.Intn(n)))
+		}
+		if rng.Intn(3) == 0 {
+			for d := 0; d < 1+rng.Intn(4); d++ {
+				g.AddExtraEdge(uint32(u), uint32(rng.Intn(n)), uint16(rng.Intn(100)))
+			}
+		}
+	}
+	for u := 0; u < n/10; u++ {
+		g.MarkDeleted(uint32(rng.Intn(n)))
+	}
+	return g
+}
+
+// TestBatchedSearchMatchesSeed asserts fixed-seed byte-identity between
+// the batched SearchFromCtx and the seed implementation across metrics,
+// search-list sizes, CollectVisited, tombstones — on both dispatch arms.
+func TestBatchedSearchMatchesSeed(t *testing.T) {
+	arms := []bool{false}
+	if vec.SIMDAvailable() {
+		arms = append(arms, true)
+	}
+	defer vec.SetSIMD(true)
+	for _, simd := range arms {
+		vec.SetSIMD(simd)
+		name := "scalar"
+		if simd {
+			name = "simd"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, met := range []vec.Metric{vec.L2, vec.InnerProduct, vec.Cosine} {
+				g := buildRandomGraph(t, 1000+int64(met), 500, 17, met)
+				s := NewSearcher(g)
+				rng := rand.New(rand.NewSource(77))
+				for qi := 0; qi < 40; qi++ {
+					q := make([]float32, 17)
+					for j := range q {
+						q[j] = rng.Float32()*2 - 1
+					}
+					k := 1 + rng.Intn(20)
+					L := k + rng.Intn(40)
+					entry := uint32(rng.Intn(g.Len()))
+					collect := qi%3 == 0
+
+					s.CollectVisited = collect
+					got, gotSt := s.SearchFrom(q, k, L, entry)
+					gotVisited := append([]Result(nil), s.Visited...)
+					want, wantSt, wantVisited := referenceSearchFrom(g, q, k, L, entry, collect)
+
+					if len(got) != len(want) {
+						t.Fatalf("%s q%d: %d results, want %d", met, qi, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s q%d result %d: %+v != %+v", met, qi, i, got[i], want[i])
+						}
+					}
+					if gotSt != wantSt {
+						t.Fatalf("%s q%d stats: %+v != %+v", met, qi, gotSt, wantSt)
+					}
+					if collect {
+						if len(gotVisited) != len(wantVisited) {
+							t.Fatalf("%s q%d visited: %d != %d", met, qi, len(gotVisited), len(wantVisited))
+						}
+						for i := range gotVisited {
+							if gotVisited[i] != wantVisited[i] {
+								t.Fatalf("%s q%d visited %d: %+v != %+v", met, qi, i, gotVisited[i], wantVisited[i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedSearchEmptyAndTiny covers the degenerate shapes the batch
+// gather must not trip on: empty graph, single vertex, vertex with no
+// out-edges.
+func TestBatchedSearchEmptyAndTiny(t *testing.T) {
+	empty := New(vec.NewMatrix(0, 4), vec.L2)
+	s := NewSearcher(empty)
+	if res, st := s.Search([]float32{1, 2, 3, 4}, 5, 10); res != nil || st.NDC != 0 {
+		t.Fatalf("empty graph: %v %+v", res, st)
+	}
+
+	one := New(vec.MatrixFromRows([][]float32{{1, 2, 3, 4}}), vec.L2)
+	s = NewSearcher(one)
+	res, st := s.Search([]float32{1, 2, 3, 4}, 1, 10)
+	if len(res) != 1 || res[0].ID != 0 || st.NDC != 1 {
+		t.Fatalf("single vertex: %v %+v", res, st)
+	}
+}

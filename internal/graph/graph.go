@@ -51,6 +51,13 @@ type Graph struct {
 	deleted []bool
 	nDel    int
 
+	// norms caches the Euclidean norm of every row when Metric is Cosine,
+	// so searches hoist the row-norm dot product out of every distance
+	// evaluation (vec.QueryDistancer). Vectors are only ever appended
+	// (AppendVertex) after construction, never rewritten in place, so the
+	// cache cannot go stale. Nil for other metrics.
+	norms []float32
+
 	// extraDirty, while non-nil, accumulates the ids of vertices whose
 	// extra adjacency changed. See TrackExtraMutations.
 	extraDirty map[uint32]struct{}
@@ -63,14 +70,21 @@ type Graph struct {
 // New returns an empty-edged graph over the given vectors.
 func New(vectors *vec.Matrix, metric vec.Metric) *Graph {
 	n := vectors.Rows()
-	return &Graph{
+	g := &Graph{
 		Vectors: vectors,
 		Metric:  metric,
 		base:    make([][]uint32, n),
 		extra:   make([][]ExtraEdge, n),
 		deleted: make([]bool, n),
 	}
+	if metric == vec.Cosine {
+		g.norms = vec.RowNorms(vectors)
+	}
+	return g
 }
+
+// RowNorms returns the cached per-row norms (nil unless Metric is Cosine).
+func (g *Graph) RowNorms() []float32 { return g.norms }
 
 // Len returns the number of vertices (including deleted ones).
 func (g *Graph) Len() int { return len(g.base) }
@@ -262,6 +276,9 @@ func (g *Graph) AppendVertex(v []float32) uint32 {
 	g.base = append(g.base, nil)
 	g.extra = append(g.extra, nil)
 	g.deleted = append(g.deleted, false)
+	if g.Metric == vec.Cosine {
+		g.norms = append(g.norms, vec.Norm(g.Vectors.Row(id)))
+	}
 	return uint32(id)
 }
 
@@ -356,6 +373,7 @@ func (g *Graph) Clone() *Graph {
 		extra:      make([][]ExtraEdge, len(g.extra)),
 		deleted:    append([]bool(nil), g.deleted...),
 		nDel:       g.nDel,
+		norms:      append([]float32(nil), g.norms...),
 		EntryPoint: g.EntryPoint,
 	}
 	for i := range g.base {

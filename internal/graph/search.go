@@ -38,6 +38,14 @@ type Searcher struct {
 	cand    *minheap.Min
 	results *minheap.Bounded
 
+	// gatherIDs/gatherD are the batched-scoring scratch: per hop, the
+	// unvisited neighbors of the expanded vertex are gathered into
+	// gatherIDs and scored with one vec batch call into gatherD before
+	// heap admission. Sized to the largest out-degree seen, reused across
+	// hops and searches.
+	gatherIDs []uint32
+	gatherD   []float32
+
 	// CollectVisited, when true, records every vertex whose distance was
 	// evaluated during the search, in evaluation order. RFix uses this to
 	// approximate the extended candidate neighbor set without a brute-force
@@ -105,8 +113,12 @@ func (s *Searcher) SearchFromCtx(ctx context.Context, q []float32, k, L int, ent
 	// are navigated through (candidate heap) but never occupy a result
 	// slot, so heavy tombstoning cannot crowd live answers out of the
 	// search list.
-	dc := vec.DistanceCounter{Metric: g.Metric}
-	entryDist := dc.Distance(q, g.Vectors.Row(int(entry)))
+	//
+	// The distancer is prepared once per search: metric dispatch and (for
+	// cosine) the query norm are hoisted out of the loop, and the graph's
+	// row-norm cache kills the per-evaluation row-norm recomputation.
+	qd := vec.NewQueryDistancer(g.Metric, q, g.norms)
+	entryDist := qd.RowDistance(g.Vectors, entry)
 	s.visited.Visit(entry)
 	if s.CollectVisited {
 		s.Visited = append(s.Visited, Result{ID: entry, Dist: entryDist})
@@ -126,11 +138,38 @@ func (s *Searcher) SearchFromCtx(ctx context.Context, q []float32, k, L int, ent
 			break
 		}
 		st.Hops++
-		expand := func(v uint32) {
-			if s.visited.Visit(v) {
-				return
+
+		// Score in batches: gather the unvisited neighbors of the expanded
+		// vertex (base + extra edges), score them with one batch kernel
+		// call — a linear scan over row-major memory — then do heap
+		// admission in gather order. Admission order, visited semantics,
+		// and NDC are identical to evaluating one neighbor at a time: the
+		// only difference is that distances whose WouldAccept check fails
+		// are computed before the check instead of inline, and the seed
+		// loop computed those distances too.
+		ids := s.gatherIDs[:0]
+		for _, v := range g.base[cur.ID] {
+			if !s.visited.Visit(v) {
+				ids = append(ids, v)
 			}
-			d := dc.Distance(q, g.Vectors.Row(int(v)))
+		}
+		for _, e := range g.extra[cur.ID] {
+			if !s.visited.Visit(e.To) {
+				ids = append(ids, e.To)
+			}
+		}
+		s.gatherIDs = ids
+		if len(ids) == 0 {
+			continue
+		}
+		if cap(s.gatherD) < len(ids) {
+			s.gatherD = make([]float32, len(ids)+16)
+		}
+		dists := s.gatherD[:len(ids)]
+		qd.RowDistances(g.Vectors, ids, dists)
+
+		for i, v := range ids {
+			d := dists[i]
 			if s.CollectVisited {
 				s.Visited = append(s.Visited, Result{ID: v, Dist: d})
 			}
@@ -141,14 +180,8 @@ func (s *Searcher) SearchFromCtx(ctx context.Context, q []float32, k, L int, ent
 				}
 			}
 		}
-		for _, v := range g.base[cur.ID] {
-			expand(v)
-		}
-		for _, e := range g.extra[cur.ID] {
-			expand(e.To)
-		}
 	}
-	st.NDC = dc.Count
+	st.NDC = qd.Count
 
 	items := s.results.SortedAscending()
 	if len(items) > k {

@@ -15,12 +15,19 @@ import (
 // only touches extra edges, so base insertion and fixing stay independent.
 // It returns the new vertex id.
 func InsertIntoGraph(g *graph.Graph, v []float32, m, efConstruction int) uint32 {
+	return InsertIntoGraphWith(g, graph.NewSearcher(g), v, m, efConstruction)
+}
+
+// InsertIntoGraphWith is InsertIntoGraph with a caller-owned searcher, so
+// bulk-insert paths reuse one scratch set (visited array, heaps) across
+// inserts instead of allocating an O(n) searcher per vertex. The searcher
+// must belong to g; its visited set grows with the graph automatically.
+func InsertIntoGraphWith(g *graph.Graph, s *graph.Searcher, v []float32, m, efConstruction int) uint32 {
 	id := g.AppendVertex(v)
 	if g.Len() == 1 {
 		g.EntryPoint = id
 		return id
 	}
-	s := graph.NewSearcher(g)
 	res, _ := s.SearchFrom(v, efConstruction, efConstruction, g.EntryPoint)
 	cands := make([]graph.Candidate, 0, len(res))
 	for _, r := range res {

@@ -75,8 +75,9 @@ func Train(data *vec.Matrix, cfg Config) (*Quantizer, error) {
 		q.centroids[m] = trainSubspace(data, m, q.sub, ks, cfg.Iters, rng)
 	}
 	q.codes = make([]byte, n*cfg.M)
+	scratch := make([]float32, ks)
 	for i := 0; i < n; i++ {
-		q.encodeInto(data.Row(i), q.codes[i*cfg.M:(i+1)*cfg.M])
+		q.encodeInto(data.Row(i), q.codes[i*cfg.M:(i+1)*cfg.M], scratch)
 	}
 	return q, nil
 }
@@ -91,13 +92,18 @@ func trainSubspace(data *vec.Matrix, m, sub, ks, iters int, rng *rand.Rand) *vec
 		copy(cents.Row(c), data.Row(perm[c])[m*sub:(m+1)*sub])
 	}
 	assign := make([]int, n)
+	dists := make([]float32, ks)
 	for it := 0; it < iters; it++ {
 		changed := 0
 		for i := 0; i < n; i++ {
 			block := data.Row(i)[m*sub : (m+1)*sub]
+			// One batched scan over the centroid matrix per point: the
+			// centroids are contiguous rows, exactly the batch kernel's
+			// streaming shape.
+			vec.DistancesRows(vec.L2, block, cents, 0, ks, dists)
 			best, bestD := 0, float32(math.Inf(1))
-			for c := 0; c < ks; c++ {
-				if d := vec.L2Squared(block, cents.Row(c)); d < bestD {
+			for c, d := range dists {
+				if d < bestD {
 					best, bestD = c, d
 				}
 			}
@@ -138,12 +144,17 @@ func trainSubspace(data *vec.Matrix, m, sub, ks, iters int, rng *rand.Rand) *vec
 	return cents
 }
 
-func (q *Quantizer) encodeInto(row []float32, dst []byte) {
+// encodeInto writes row's M code bytes into dst. scratch must hold at
+// least KS floats; it receives each subspace's centroid distances from
+// one batched scan.
+func (q *Quantizer) encodeInto(row []float32, dst []byte, scratch []float32) {
+	dists := scratch[:q.cfg.KS]
 	for m := 0; m < q.cfg.M; m++ {
 		block := row[m*q.sub : (m+1)*q.sub]
+		vec.DistancesRows(vec.L2, block, q.centroids[m], 0, q.cfg.KS, dists)
 		best, bestD := 0, float32(math.Inf(1))
-		for c := 0; c < q.cfg.KS; c++ {
-			if d := vec.L2Squared(block, q.centroids[m].Row(c)); d < bestD {
+		for c, d := range dists {
+			if d < bestD {
 				best, bestD = c, d
 			}
 		}
@@ -188,9 +199,9 @@ func (q *Quantizer) BuildTable(query []float32) Table {
 	for m := 0; m < q.cfg.M; m++ {
 		block := query[m*q.sub : (m+1)*q.sub]
 		row := make([]float32, q.cfg.KS)
-		for c := 0; c < q.cfg.KS; c++ {
-			row[c] = vec.L2Squared(block, q.centroids[m].Row(c))
-		}
+		// The m-th codebook is a contiguous KS×sub matrix: one batched
+		// streaming scan fills the whole table row.
+		vec.DistancesRows(vec.L2, block, q.centroids[m], 0, q.cfg.KS, row)
 		t[m] = row
 	}
 	return t

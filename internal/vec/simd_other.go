@@ -1,0 +1,7 @@
+//go:build !amd64 && !arm64
+
+package vec
+
+// detectKernels has no SIMD implementation to offer on this architecture;
+// the portable scalar reference serves all traffic.
+func detectKernels() kernelSet { return scalarKernels }

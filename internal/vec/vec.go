@@ -3,8 +3,11 @@
 // product, cosine), norms, and a flat row-major Matrix type that stores a
 // dataset contiguously so distance loops stay cache-friendly.
 //
-// All kernels are written against raw slices and manually unrolled four
-// wide; the Go compiler keeps them free of bounds checks in the hot loop.
+// The public kernels (L2Squared, Dot, and the batch entry points) dispatch
+// once, at package init, to the fastest implementation the CPU supports:
+// hand-written AVX2+FMA assembly on amd64, NEON on arm64, and a portable
+// four-wide unrolled scalar reference everywhere else (also selectable at
+// runtime — see SetSIMD and the NGFIX_DISABLE_SIMD environment variable).
 // Distances follow the "smaller is closer" convention everywhere: inner
 // product and cosine similarity are returned negated / as (1 - cos) so the
 // same comparison logic drives all metric spaces.
@@ -68,6 +71,21 @@ func L2Squared(x, y []float32) float32 {
 	if len(x) != len(y) {
 		panic("vec: dimension mismatch")
 	}
+	return active.l2(x, y)
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("vec: dimension mismatch")
+	}
+	return active.dot(x, y)
+}
+
+// l2Scalar is the portable reference kernel for L2Squared: manually
+// unrolled four wide, bounds-check-free in the hot loop. The SIMD kernels
+// are differentially tested against it.
+func l2Scalar(x, y []float32) float32 {
 	var s0, s1, s2, s3 float32
 	i := 0
 	for ; i+4 <= len(x); i += 4 {
@@ -87,11 +105,8 @@ func L2Squared(x, y []float32) float32 {
 	return s0 + s1 + s2 + s3
 }
 
-// Dot returns the inner product of x and y.
-func Dot(x, y []float32) float32 {
-	if len(x) != len(y) {
-		panic("vec: dimension mismatch")
-	}
+// dotScalar is the portable reference kernel for Dot.
+func dotScalar(x, y []float32) float32 {
 	var s0, s1, s2, s3 float32
 	i := 0
 	for ; i+4 <= len(x); i += 4 {
@@ -283,18 +298,34 @@ func (m *Matrix) Centroid() []float32 {
 }
 
 // NearestRow does a brute-force scan and returns the index of the row
-// closest to q under metric met, along with its distance.
+// closest to q under metric met, along with its distance. The scan runs
+// in chunks through the batched kernel: contiguous rows, one linear
+// streaming pass per chunk.
 func (m *Matrix) NearestRow(q []float32, met Metric) (idx int, dist float32) {
 	n := m.Rows()
 	if n == 0 {
 		return -1, float32(math.Inf(1))
 	}
-	idx = 0
-	dist = met.Distance(q, m.Row(0))
-	for i := 1; i < n; i++ {
-		if d := met.Distance(q, m.Row(i)); d < dist {
-			idx, dist = i, d
+	const chunk = 256
+	var buf [chunk]float32
+	d := NewQueryDistancer(met, q, nil)
+	idx = -1
+	dist = float32(math.Inf(1))
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
 		}
+		dists := buf[:hi-lo]
+		d.RowDistancesRange(m, lo, hi, dists)
+		for i, dd := range dists {
+			if dd < dist {
+				idx, dist = lo+i, dd
+			}
+		}
+	}
+	if idx < 0 { // all distances NaN/Inf: keep the seed behavior of row 0
+		idx, dist = 0, met.Distance(q, m.Row(0))
 	}
 	return idx, dist
 }

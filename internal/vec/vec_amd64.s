@@ -1,0 +1,118 @@
+#include "textflag.h"
+
+// AVX2+FMA distance kernel bodies. Both functions require
+// len(x) == len(y), len a non-zero multiple of 8; the Go wrappers
+// guarantee it and finish the sub-lane tail scalarly.
+//
+// The main loop runs 32 floats per iteration into four independent YMM
+// accumulators to hide FMA latency; a trailing 8-wide loop mops up the
+// remaining full lanes. Accumulators are reduced to one scalar at the
+// end, so the result is deterministic for a given input (though its
+// rounding differs from the scalar reference — callers compare with a
+// relative tolerance, and search loops only ever compare distances
+// produced by the same kernel).
+
+// func l2Body8AVX2(x, y []float32) float32
+TEXT ·l2Body8AVX2(SB), NOSPLIT, $0-52
+	MOVQ x_base+0(FP), SI
+	MOVQ y_base+24(FP), DI
+	MOVQ x_len+8(FP), CX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-32, BX
+	CMPQ BX, $0
+	JE   l2tail8
+
+l2loop32:
+	VMOVUPS (SI)(AX*4), Y4
+	VMOVUPS 32(SI)(AX*4), Y5
+	VMOVUPS 64(SI)(AX*4), Y6
+	VMOVUPS 96(SI)(AX*4), Y7
+	VSUBPS  (DI)(AX*4), Y4, Y4
+	VSUBPS  32(DI)(AX*4), Y5, Y5
+	VSUBPS  64(DI)(AX*4), Y6, Y6
+	VSUBPS  96(DI)(AX*4), Y7, Y7
+	VFMADD231PS Y4, Y4, Y0
+	VFMADD231PS Y5, Y5, Y1
+	VFMADD231PS Y6, Y6, Y2
+	VFMADD231PS Y7, Y7, Y3
+	ADDQ $32, AX
+	CMPQ AX, BX
+	JL   l2loop32
+
+l2tail8:
+	CMPQ AX, CX
+	JGE  l2reduce
+	VMOVUPS (SI)(AX*4), Y4
+	VSUBPS  (DI)(AX*4), Y4, Y4
+	VFMADD231PS Y4, Y4, Y0
+	ADDQ $8, AX
+	JMP  l2tail8
+
+l2reduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VZEROUPPER
+	MOVSS X0, ret+48(FP)
+	RET
+
+// func dotBody8AVX2(x, y []float32) float32
+TEXT ·dotBody8AVX2(SB), NOSPLIT, $0-52
+	MOVQ x_base+0(FP), SI
+	MOVQ y_base+24(FP), DI
+	MOVQ x_len+8(FP), CX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-32, BX
+	CMPQ BX, $0
+	JE   dottail8
+
+dotloop32:
+	VMOVUPS (SI)(AX*4), Y4
+	VMOVUPS 32(SI)(AX*4), Y5
+	VMOVUPS 64(SI)(AX*4), Y6
+	VMOVUPS 96(SI)(AX*4), Y7
+	VFMADD231PS (DI)(AX*4), Y4, Y0
+	VFMADD231PS 32(DI)(AX*4), Y5, Y1
+	VFMADD231PS 64(DI)(AX*4), Y6, Y2
+	VFMADD231PS 96(DI)(AX*4), Y7, Y3
+	ADDQ $32, AX
+	CMPQ AX, BX
+	JL   dotloop32
+
+dottail8:
+	CMPQ AX, CX
+	JGE  dotreduce
+	VMOVUPS (SI)(AX*4), Y4
+	VFMADD231PS (DI)(AX*4), Y4, Y0
+	ADDQ $8, AX
+	JMP  dottail8
+
+dotreduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VZEROUPPER
+	MOVSS X0, ret+48(FP)
+	RET

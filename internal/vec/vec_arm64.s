@@ -1,0 +1,110 @@
+#include "textflag.h"
+
+// NEON distance kernel bodies. Both functions require len(x) == len(y),
+// len a non-zero multiple of 4; the Go wrappers guarantee it and finish
+// the sub-lane tail scalarly.
+//
+// The main loop runs 16 floats per iteration into four independent vector
+// accumulators (V0-V3) to hide FMLA latency; a trailing 4-wide loop mops
+// up remaining full lanes. The four accumulators are combined pairwise
+// into V0 and its lanes stored to *acc; the wrapper sums them in a fixed
+// order so results are deterministic.
+//
+// The Go assembler has no mnemonic for the vector forms of FSUB/FADD
+// (only VFMLA/VFMLS made it in), so those two are emitted as WORD
+// directives. Encoding layout, verified against the assembler's own
+// VFMLA test vectors: base | Rm<<16 | Rn<<5 | Rd with
+// FSUB.4S base 0x4EA0D400 and FADD.4S base 0x4E20D400.
+
+// func l2Body4NEON(x, y []float32, acc *[4]float32)
+TEXT ·l2Body4NEON(SB), NOSPLIT, $0-56
+	MOVD x_base+0(FP), R0
+	MOVD y_base+24(FP), R1
+	MOVD x_len+8(FP), R2
+	MOVD acc+48(FP), R3
+
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+
+	LSR $4, R2, R4 // 16-wide iterations
+	CBZ R4, l2tail4setup
+
+l2loop16:
+	VLD1.P 64(R0), [V4.S4, V5.S4, V6.S4, V7.S4]
+	VLD1.P 64(R1), [V8.S4, V9.S4, V10.S4, V11.S4]
+	WORD $0x4EA8D484 // FSUB V4.4S, V4.4S, V8.4S
+	WORD $0x4EA9D4A5 // FSUB V5.4S, V5.4S, V9.4S
+	WORD $0x4EAAD4C6 // FSUB V6.4S, V6.4S, V10.4S
+	WORD $0x4EABD4E7 // FSUB V7.4S, V7.4S, V11.4S
+	VFMLA  V4.S4, V4.S4, V0.S4
+	VFMLA  V5.S4, V5.S4, V1.S4
+	VFMLA  V6.S4, V6.S4, V2.S4
+	VFMLA  V7.S4, V7.S4, V3.S4
+	SUB  $1, R4
+	CBNZ R4, l2loop16
+
+l2tail4setup:
+	AND $15, R2, R4
+	LSR $2, R4, R4 // leftover 4-wide groups
+	CBZ R4, l2store
+
+l2loop4:
+	VLD1.P 16(R0), [V4.S4]
+	VLD1.P 16(R1), [V8.S4]
+	WORD $0x4EA8D484 // FSUB V4.4S, V4.4S, V8.4S
+	VFMLA  V4.S4, V4.S4, V0.S4
+	SUB  $1, R4
+	CBNZ R4, l2loop4
+
+l2store:
+	WORD $0x4E21D400 // FADD V0.4S, V0.4S, V1.4S
+	WORD $0x4E23D442 // FADD V2.4S, V2.4S, V3.4S
+	WORD $0x4E22D400 // FADD V0.4S, V0.4S, V2.4S
+	VST1  [V0.S4], (R3)
+	RET
+
+// func dotBody4NEON(x, y []float32, acc *[4]float32)
+TEXT ·dotBody4NEON(SB), NOSPLIT, $0-56
+	MOVD x_base+0(FP), R0
+	MOVD y_base+24(FP), R1
+	MOVD x_len+8(FP), R2
+	MOVD acc+48(FP), R3
+
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+
+	LSR $4, R2, R4 // 16-wide iterations
+	CBZ R4, dottail4setup
+
+dotloop16:
+	VLD1.P 64(R0), [V4.S4, V5.S4, V6.S4, V7.S4]
+	VLD1.P 64(R1), [V8.S4, V9.S4, V10.S4, V11.S4]
+	VFMLA  V8.S4, V4.S4, V0.S4
+	VFMLA  V9.S4, V5.S4, V1.S4
+	VFMLA  V10.S4, V6.S4, V2.S4
+	VFMLA  V11.S4, V7.S4, V3.S4
+	SUB  $1, R4
+	CBNZ R4, dotloop16
+
+dottail4setup:
+	AND $15, R2, R4
+	LSR $2, R4, R4 // leftover 4-wide groups
+	CBZ R4, dotstore
+
+dotloop4:
+	VLD1.P 16(R0), [V4.S4]
+	VLD1.P 16(R1), [V8.S4]
+	VFMLA  V8.S4, V4.S4, V0.S4
+	SUB  $1, R4
+	CBNZ R4, dotloop4
+
+dotstore:
+	WORD $0x4E21D400 // FADD V0.4S, V0.4S, V1.4S
+	WORD $0x4E23D442 // FADD V2.4S, V2.4S, V3.4S
+	WORD $0x4E22D400 // FADD V0.4S, V0.4S, V2.4S
+	VST1  [V0.S4], (R3)
+	RET
