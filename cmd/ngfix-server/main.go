@@ -10,8 +10,11 @@
 //	ngfix-server -snapshot-dir ./state                        # recover & serve
 //
 // Endpoints: POST /v1/{search,insert,delete,fix,purge,snapshot},
-// GET /v1/stats, GET /healthz, GET /readyz. See internal/server for the
-// JSON shapes.
+// GET /v1/stats, GET /healthz, GET /readyz, GET /metrics (Prometheus
+// text format; disable with -metrics=false). See internal/server for
+// the JSON shapes, and README "Observability" for the metric families,
+// the slow-query log (-slow-query-ms), and the pprof endpoints
+// (-pprof).
 //
 // With -snapshot-dir the server is crash-safe: it journals every insert,
 // delete, and fix batch to an op log, snapshots the graph on a cadence
@@ -27,6 +30,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +42,7 @@ import (
 	"ngfix/internal/dataset"
 	"ngfix/internal/graph"
 	"ngfix/internal/hnsw"
+	"ngfix/internal/obs"
 	"ngfix/internal/persist"
 	"ngfix/internal/server"
 	"ngfix/internal/vec"
@@ -69,7 +74,16 @@ func run(args []string) int {
 	queueDepth := fl.Int("queue-depth", 0, "bounded wait queue beyond capacity; excess requests get 429 (0 means 2x -max-inflight)")
 	searchTimeout := fl.Duration("search-timeout", 2*time.Second, "per-request compute budget; expired searches return partial results with truncated:true (0 disables)")
 	efFloor := fl.Int("ef-floor", 0, "minimum ef under queue pressure: effective ef shrinks toward this floor as the queue fills (0 disables degradation)")
+	metricsOn := fl.Bool("metrics", true, "serve Prometheus metrics on GET /metrics")
+	slowQueryMS := fl.Int("slow-query-ms", 0, "log every search at or over this many milliseconds (0 disables the slow-query log)")
+	pprofOn := fl.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling data; enable only on trusted networks)")
 	fl.Parse(args)
+
+	var reg *obs.Registry
+	if *metricsOn {
+		reg = obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg)
+	}
 
 	// --- Index acquisition: recover from the snapshot dir when it has
 	// state, otherwise build/load and seed the dir.
@@ -80,6 +94,9 @@ func run(args []string) int {
 		if err != nil {
 			log.Printf("open snapshot dir: %v", err)
 			return 1
+		}
+		if reg != nil {
+			st.RegisterMetrics(reg)
 		}
 	}
 
@@ -150,6 +167,7 @@ func run(args []string) int {
 		BatchSize: *batch, SampleEvery: *sample, AutoFix: *autofix,
 		WAL:                  wal,
 		SnapshotEveryBatches: *snapEvery, SnapshotEveryMutations: *snapOps,
+		Metrics:              reg,
 	})
 
 	s := server.New(fixer)
@@ -161,6 +179,30 @@ func run(args []string) int {
 	}
 	s.SearchTimeout = *searchTimeout
 	s.EFFloor = *efFloor
+	if reg != nil {
+		s.EnableMetrics(reg) // also wires the admission controller's families
+	}
+	if *slowQueryMS > 0 {
+		s.SlowQueries = &obs.SlowQueryLog{
+			Threshold: time.Duration(*slowQueryMS) * time.Millisecond,
+			Logf:      log.Printf,
+		}
+	}
+
+	// The pprof mux wraps the API handler so profiling never rides on the
+	// DefaultServeMux (whose other registrations we don't control).
+	var handler http.Handler = s
+	if *pprofOn {
+		top := http.NewServeMux()
+		top.HandleFunc("/debug/pprof/", pprof.Index)
+		top.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		top.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		top.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		top.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		top.Handle("/", s)
+		handler = top
+		log.Print("pprof enabled on /debug/pprof/")
+	}
 
 	// --- Lifecycle: configured http.Server, signal-driven graceful
 	// shutdown, context-stopped background fixer.
@@ -173,7 +215,7 @@ func run(args []string) int {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,

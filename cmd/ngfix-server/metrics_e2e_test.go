@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"ngfix/internal/dataset"
+	"ngfix/internal/hnsw"
+	"ngfix/internal/obs"
+	"ngfix/internal/server"
+	"ngfix/internal/vec"
+)
+
+// TestMetricsEndToEnd runs the real binary and scrapes /metrics like a
+// Prometheus server would: the exposition must parse strictly and the
+// search, fix-batch, WAL, and admission families must have moved with
+// the traffic. Also covers -pprof (profile index answers 200) and
+// -metrics=false (404).
+func TestMetricsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the server binary")
+	}
+	work := t.TempDir()
+	bin := buildServerBinary(t, work)
+
+	d := dataset.Generate(dataset.Config{
+		Name: "obs-e2e", N: 400, NHist: 60, NTest: 10,
+		Dim: 8, Clusters: 5, Metric: vec.L2,
+		GapMagnitude: 1.5, ClusterStd: 0.2, QueryStdScale: 1.5, Seed: 11,
+	})
+	g := hnsw.Build(d.Base, hnsw.Config{M: 8, EFConstruction: 60, Metric: vec.L2, Seed: 1}).Bottom()
+	idx := filepath.Join(work, "base.ngig")
+	if err := g.Save(idx); err != nil {
+		t.Fatal(err)
+	}
+
+	p := startServer(t, bin, "-index", idx,
+		"-snapshot-dir", filepath.Join(work, "state"),
+		"-fix-batch", "16", "-pprof")
+
+	const searches = 8
+	for qi := 0; qi < searches; qi++ {
+		var sr server.SearchResponse
+		p.post(t, "/v1/search", server.SearchRequest{Vector: d.History.Row(qi), K: server.IntPtr(5), EF: server.IntPtr(20)}, &sr)
+	}
+	var ir server.InsertResponse
+	p.post(t, "/v1/insert", server.InsertRequest{Vector: d.History.Row(0)}, &ir)
+	var fr server.FixResponse
+	p.post(t, "/v1/fix", struct{}{}, &fr)
+	if fr.Queries == 0 {
+		t.Fatal("fix consumed no queries")
+	}
+
+	resp, err := http.Get(p.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("content type %q, want %q", ct, obs.ContentType)
+	}
+	samples, err := obs.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	checks := []struct {
+		key string
+		min float64
+	}{
+		{`ngfix_search_duration_seconds_count{outcome="ok"}`, searches},
+		{"ngfix_search_ndc_count", searches},
+		{"ngfix_fix_batches_total", 1},
+		{"ngfix_fix_queries_total", float64(fr.Queries)},
+		{"ngfix_wal_append_seconds_count", 2}, // insert + fix batch
+		{"ngfix_wal_snapshot_seconds_count", 1},
+		{"ngfix_admission_admitted_total", searches + 2},
+		{"ngfix_vectors", 401},
+		{"go_goroutines", 1},
+	}
+	for _, c := range checks {
+		got, ok := samples[c.key]
+		if !ok {
+			t.Errorf("missing %s in exposition", c.key)
+			continue
+		}
+		if got < c.min {
+			t.Errorf("%s = %v, want >= %v", c.key, got, c.min)
+		}
+	}
+
+	// -pprof wired the profiling mux next to the API.
+	pp, err := http.Get(p.base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", pp.StatusCode)
+	}
+	p.terminate(t)
+
+	// -metrics=false: the route answers 404 and pprof is absent.
+	p2 := startServer(t, bin, "-index", idx, "-metrics=false")
+	for _, path := range []string{"/metrics", "/debug/pprof/"} {
+		r, err := http.Get(p2.base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s with -metrics=false: status %d, want 404", path, r.StatusCode)
+		}
+	}
+	p2.terminate(t)
+}

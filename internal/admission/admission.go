@@ -79,10 +79,11 @@ type Controller struct {
 	inUse int
 	queue []*waiter
 
-	admitted uint64 // granted immediately or after queueing
-	shed     uint64 // rejected with ErrSaturated (queue full)
-	timedOut uint64 // left the queue because their context ended
-	maxQueue int    // high-water mark of queue length
+	admitted  uint64 // granted AND taken by their caller (served requests)
+	reclaimed uint64 // granted concurrently with the caller giving up; units handed back
+	shed      uint64 // rejected with ErrSaturated (queue full)
+	timedOut  uint64 // left the queue because their context ended
+	maxQueue  int    // high-water mark of queue length
 }
 
 // New builds a Controller from cfg (zero fields take defaults).
@@ -138,21 +139,36 @@ func (c *Controller) Acquire(ctx context.Context, cost int) (release func(), err
 
 	select {
 	case <-w.ready:
+		// The grant is only counted once the caller actually takes it, so
+		// `admitted` means "requests served", and admitted + reclaimed +
+		// shed + timedOut reconciles exactly with arrivals.
+		c.mu.Lock()
+		c.admitted++
+		c.mu.Unlock()
 		return func() { c.release(cost) }, nil
 	case <-ctx.Done():
-		c.mu.Lock()
-		select {
-		case <-w.ready:
-			// Granted concurrently with the context ending. The caller is
-			// walking away, so hand the units straight back.
-			c.mu.Unlock()
-			c.release(cost)
-		default:
-			c.removeLocked(w)
-			c.timedOut++
-			c.mu.Unlock()
-		}
+		c.abandon(w, cost)
 		return nil, ctx.Err()
+	}
+}
+
+// abandon resolves the grant-vs-abandon race for a waiter whose context
+// ended: if the grant won (ready closed before we got the lock), the
+// units go straight back and the request counts as reclaimed — it was
+// never served, so counting it admitted would make the stats
+// irreconcilable with the 429 the caller is about to send. Otherwise the
+// waiter leaves the queue and counts as timed out.
+func (c *Controller) abandon(w *waiter, cost int) {
+	c.mu.Lock()
+	select {
+	case <-w.ready:
+		c.reclaimed++
+		c.mu.Unlock()
+		c.release(cost)
+	default:
+		c.removeLocked(w)
+		c.timedOut++
+		c.mu.Unlock()
 	}
 }
 
@@ -175,7 +191,6 @@ func (c *Controller) grantLocked() {
 		c.queue[0] = nil
 		c.queue = c.queue[1:]
 		c.inUse += w.cost
-		c.admitted++
 		close(w.ready)
 	}
 	if len(c.queue) == 0 {
@@ -186,7 +201,13 @@ func (c *Controller) grantLocked() {
 func (c *Controller) removeLocked(w *waiter) {
 	for i, q := range c.queue {
 		if q == w {
-			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			// Shift left and nil the vacated tail slot: a bare
+			// append(c.queue[:i], c.queue[i+1:]...) leaves a stale *waiter
+			// (and its ready channel) pinned in the backing array until
+			// the queue fully drains, which under sustained load is never.
+			copy(c.queue[i:], c.queue[i+1:])
+			c.queue[len(c.queue)-1] = nil
+			c.queue = c.queue[:len(c.queue)-1]
 			return
 		}
 	}
@@ -233,9 +254,14 @@ type Stats struct {
 	QueueDepth int     // configured queue bound
 	MaxQueued  int     // high-water mark of Queued
 	Pressure   float64 // Queued / QueueDepth
-	Admitted   uint64  // requests granted (immediately or after waiting)
+	Admitted   uint64  // requests granted and actually served
 	Shed       uint64  // requests rejected with ErrSaturated
 	TimedOut   uint64  // requests that left the queue on context end
+	// Reclaimed counts requests granted concurrently with their context
+	// ending: the units went straight back and the caller was answered
+	// 429, so they are not in Admitted. Every arrival that was not shed
+	// at the door lands in exactly one of Admitted, TimedOut, Reclaimed.
+	Reclaimed uint64
 }
 
 // Stats returns a consistent snapshot of the limiter's counters.
@@ -252,5 +278,6 @@ func (c *Controller) Stats() Stats {
 		Admitted:   c.admitted,
 		Shed:       c.shed,
 		TimedOut:   c.timedOut,
+		Reclaimed:  c.reclaimed,
 	}
 }

@@ -282,6 +282,149 @@ func TestConcurrentHammering(t *testing.T) {
 	}
 }
 
+// TestCancelChurnRetainsNoWaiters is the regression test for the
+// stale-pointer leak in removeLocked: the old append-based removal
+// shifted the queue left but never cleared the vacated tail slot, so an
+// abandoned waiter (and its ready channel) stayed pinned in the backing
+// array until the queue drained to nil — under sustained load, never.
+// After heavy cancel churn every slot of the backing array beyond the
+// live queue must be nil.
+func TestCancelChurnRetainsNoWaiters(t *testing.T) {
+	c := New(Config{Capacity: 1, QueueDepth: 32})
+	release, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 24
+	ctxs := make([]context.CancelFunc, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		ctxs[i] = cancel
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r, err := c.Acquire(ctx, 1); err == nil {
+				r()
+			}
+		}()
+		// Serialize arrivals so every waiter really queues.
+		waitFor(t, func() bool { return c.Stats().Queued == i+1 })
+	}
+	// Cancel out of order (middles first, then edges) so removals happen
+	// at interior indices, the worst case for the shifting removal.
+	for i := waiters/2 - 1; i >= 0; i-- {
+		ctxs[i]()
+		ctxs[waiters-1-i]()
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) != 0 {
+		t.Fatalf("queue not drained: %d waiters left", len(c.queue))
+	}
+	backing := c.queue[:cap(c.queue)]
+	for i, w := range backing {
+		if w != nil {
+			t.Fatalf("stale *waiter retained in backing array slot %d of %d after cancel churn", i, cap(c.queue))
+		}
+	}
+	_ = release
+}
+
+// TestAbandonAfterGrantCountsReclaimed drives the grant-vs-abandon race
+// deterministically through the same code path Acquire uses: a waiter is
+// granted (ready closed, units charged) and only then does its caller
+// observe the expired context. The request was answered 429, so it must
+// count as reclaimed, not admitted — the old code counted it admitted,
+// which made `admitted` over-report served requests and left /v1/stats
+// impossible to reconcile against client-visible outcomes.
+func TestAbandonAfterGrantCountsReclaimed(t *testing.T) {
+	c := New(Config{Capacity: 1, QueueDepth: 4})
+	release, err := c.Acquire(context.Background(), 1) // Admitted = 1, served
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue a waiter by hand so the test, not the scheduler, decides when
+	// its caller notices the cancellation.
+	w := &waiter{cost: 1, ready: make(chan struct{})}
+	c.mu.Lock()
+	c.queue = append(c.queue, w)
+	c.mu.Unlock()
+
+	release() // grantLocked promotes w: units charged, ready closed
+	select {
+	case <-w.ready:
+	default:
+		t.Fatal("waiter not granted after release")
+	}
+	if st := c.Stats(); st.InUse != 1 {
+		t.Fatalf("granted units not charged: %+v", st)
+	}
+
+	// The caller walks away exactly as Acquire's ctx.Done arm does.
+	c.abandon(w, 1)
+
+	st := c.Stats()
+	if st.Admitted != 1 {
+		t.Fatalf("abandoned grant counted as admitted: %+v", st)
+	}
+	if st.Reclaimed != 1 {
+		t.Fatalf("abandoned grant not counted reclaimed: %+v", st)
+	}
+	if st.TimedOut != 0 {
+		t.Fatalf("abandoned grant double-counted as timed out: %+v", st)
+	}
+	if st.InUse != 0 {
+		t.Fatalf("reclaimed units not returned: %+v", st)
+	}
+}
+
+// TestAccountingReconciles races real grants against real cancellations
+// and then checks the ledger: every arrival lands in exactly one of
+// admitted / shed / timedOut / reclaimed, and admitted equals the number
+// of callers that actually received a release func.
+func TestAccountingReconciles(t *testing.T) {
+	c := New(Config{Capacity: 2, QueueDepth: 8})
+	var served atomic.Uint64
+	var attempts atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// Deadlines straddle the typical grant latency so all four
+				// outcomes occur, including the grant-vs-abandon race.
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%40)*time.Microsecond)
+				attempts.Add(1)
+				release, err := c.Acquire(ctx, 1+w%2)
+				if err == nil {
+					served.Add(1)
+					release()
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.InUse != 0 || st.Queued != 0 {
+		t.Fatalf("leaked state: %+v", st)
+	}
+	if st.Admitted != served.Load() {
+		t.Fatalf("admitted %d != served callers %d (over-count = miscounted shed accounting)", st.Admitted, served.Load())
+	}
+	if total := st.Admitted + st.Shed + st.TimedOut + st.Reclaimed; total != attempts.Load() {
+		t.Fatalf("ledger does not reconcile: admitted %d + shed %d + timedOut %d + reclaimed %d = %d, attempts %d",
+			st.Admitted, st.Shed, st.TimedOut, st.Reclaimed, total, attempts.Load())
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)

@@ -1,0 +1,37 @@
+package admission
+
+import "ngfix/internal/obs"
+
+// RegisterMetrics exports the limiter through an obs registry. Live
+// values (in-use units, queue depth, pressure) are gauges read at scrape
+// time; lifetime totals are counter funcs over the same mutex-guarded
+// counters Stats reports, so /metrics and /v1/stats can never disagree.
+func (c *Controller) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("ngfix_admission_capacity_units",
+		"Configured in-flight capacity in admission cost units.",
+		func() float64 { return float64(c.Stats().Capacity) })
+	reg.GaugeFunc("ngfix_admission_inflight_units",
+		"Admission cost units currently in flight.",
+		func() float64 { return float64(c.Stats().InUse) })
+	reg.GaugeFunc("ngfix_admission_queued",
+		"Requests waiting in the admission queue right now.",
+		func() float64 { return float64(c.Stats().Queued) })
+	reg.GaugeFunc("ngfix_admission_queue_depth",
+		"Configured bound of the admission wait queue.",
+		func() float64 { return float64(c.Stats().QueueDepth) })
+	reg.GaugeFunc("ngfix_admission_pressure",
+		"Queue fill fraction in [0,1]; quality degradation and Retry-After scaling key off this.",
+		func() float64 { return c.Stats().Pressure })
+	reg.CounterFunc("ngfix_admission_admitted_total",
+		"Requests granted admission and actually served.",
+		func() float64 { return float64(c.Stats().Admitted) })
+	reg.CounterFunc("ngfix_admission_shed_total",
+		"Requests rejected at the door because capacity and queue were full.",
+		func() float64 { return float64(c.Stats().Shed) })
+	reg.CounterFunc("ngfix_admission_timed_out_total",
+		"Requests that left the queue because their context ended before a grant.",
+		func() float64 { return float64(c.Stats().TimedOut) })
+	reg.CounterFunc("ngfix_admission_reclaimed_total",
+		"Requests granted concurrently with their context ending; units returned, caller answered 429.",
+		func() float64 { return float64(c.Stats().Reclaimed) })
+}

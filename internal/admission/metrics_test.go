@@ -1,0 +1,50 @@
+package admission
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"ngfix/internal/obs"
+)
+
+// TestRegisterMetrics checks the scrape view agrees with Stats and that
+// the exposition is well-formed.
+func TestRegisterMetrics(t *testing.T) {
+	c := New(Config{Capacity: 3, QueueDepth: 6})
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	r1, err := c.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, buf.String())
+	}
+	want := map[string]float64{
+		"ngfix_admission_capacity_units":  3,
+		"ngfix_admission_inflight_units":  2,
+		"ngfix_admission_queue_depth":     6,
+		"ngfix_admission_queued":          0,
+		"ngfix_admission_admitted_total":  1,
+		"ngfix_admission_shed_total":      0,
+		"ngfix_admission_reclaimed_total": 0,
+	}
+	for key, v := range want {
+		got, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing %s in exposition:\n%s", key, buf.String())
+		}
+		if got != v {
+			t.Fatalf("%s = %v, want %v", key, got, v)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"ngfix/internal/obs"
+)
+
+// fixerMetrics is the OnlineFixer's telemetry: what live traffic costs
+// (NDC/hop distributions per search) and what the repair loop is learning
+// from it (edges added, unreachable-query rate before/after each batch,
+// batch duration). These are precisely the navigability signals the
+// related work ("When to Repair a Graph ANN Index", DEG's continuous
+// refinement) argues should eventually drive repair decisions — exported
+// first, wired into triggering policy in a later PR.
+//
+// Search-side observations are two lock-free histogram adds; everything
+// else updates once per fix batch, far off the hot path.
+type fixerMetrics struct {
+	searchNDC  *obs.Histogram
+	searchHops *obs.Histogram
+
+	fixBatches     *obs.Counter
+	fixQueries     *obs.Counter
+	ngfixEdges     *obs.Counter
+	rfixEdges      *obs.Counter
+	defectivePairs *obs.Counter
+	batchSeconds   *obs.Histogram
+	// unreachableBefore/After observe, per fix batch, the fraction of the
+	// batch's queries with an unreachable NN pair before fixing (RFix
+	// triggered) and still unreachable after (RFix gave up under budget).
+	unreachableBefore *obs.Histogram
+	unreachableAfter  *obs.Histogram
+}
+
+func newFixerMetrics(reg *obs.Registry, o *OnlineFixer) *fixerMetrics {
+	rateBuckets := obs.LinearBuckets(0.05, 0.05, 20) // 0.05 .. 1.0
+	m := &fixerMetrics{
+		searchNDC: reg.Histogram("ngfix_search_ndc",
+			"Distance computations per search — the paper's cost metric.",
+			obs.ExpBuckets(32, 2, 14)),
+		searchHops: reg.Histogram("ngfix_search_hops",
+			"Vertices expanded per search.",
+			obs.ExpBuckets(2, 2, 12)),
+		fixBatches: reg.Counter("ngfix_fix_batches_total",
+			"Online fix batches applied."),
+		fixQueries: reg.Counter("ngfix_fix_queries_total",
+			"Recorded queries consumed by fix batches."),
+		ngfixEdges: reg.Counter("ngfix_fix_edges_total",
+			"Extra edges added by the online fixer, by mechanism.",
+			obs.Label{Name: "kind", Value: "ngfix"}),
+		rfixEdges: reg.Counter("ngfix_fix_edges_total",
+			"Extra edges added by the online fixer, by mechanism.",
+			obs.Label{Name: "kind", Value: "rfix"}),
+		defectivePairs: reg.Counter("ngfix_fix_defective_pairs_total",
+			"NN pairs above the reachability threshold delta seen by fix batches (pre-fix)."),
+		batchSeconds: reg.Histogram("ngfix_fix_batch_duration_seconds",
+			"Wall time of one fix batch (preprocessing + graph repair).",
+			obs.DefLatencyBuckets),
+		unreachableBefore: reg.Histogram("ngfix_fix_unreachable_query_rate",
+			"Per fix batch: fraction of queries with an unreachable NN pair, before and after repair.",
+			rateBuckets, obs.Label{Name: "phase", Value: "before"}),
+		unreachableAfter: reg.Histogram("ngfix_fix_unreachable_query_rate",
+			"Per fix batch: fraction of queries with an unreachable NN pair, before and after repair.",
+			rateBuckets, obs.Label{Name: "phase", Value: "after"}),
+	}
+	reg.GaugeFunc("ngfix_vectors",
+		"Vectors in the index (monotone; deletes are tombstones).",
+		func() float64 { return float64(o.Len()) })
+	reg.GaugeFunc("ngfix_pending_fix_queries",
+		"Recorded queries waiting for the next fix batch.",
+		func() float64 { return float64(o.Pending()) })
+	reg.CounterFunc("ngfix_recorded_queries_shed_total",
+		"Recorded queries dropped oldest-first because the buffer was full.",
+		func() float64 {
+			o.qmu.Lock()
+			defer o.qmu.Unlock()
+			return float64(o.shed)
+		})
+	return m
+}
+
+// observeSearch records the per-query cost signals. Called on every
+// search; both observations are lock-free atomic adds.
+func (m *fixerMetrics) observeSearch(ndc int64, hops int) {
+	if m == nil {
+		return
+	}
+	m.searchNDC.Observe(float64(ndc))
+	m.searchHops.Observe(float64(hops))
+}
+
+// observeFix records one completed fix batch.
+func (m *fixerMetrics) observeFix(rep FixReport) {
+	if m == nil || rep.Queries == 0 {
+		return
+	}
+	m.fixBatches.Inc()
+	m.fixQueries.Add(uint64(rep.Queries))
+	m.ngfixEdges.Add(uint64(rep.NGFixEdges))
+	m.rfixEdges.Add(uint64(rep.RFixEdges))
+	m.defectivePairs.Add(uint64(rep.DefectivePairs))
+	m.batchSeconds.Observe(rep.Elapsed.Seconds())
+	q := float64(rep.Queries)
+	m.unreachableBefore.Observe(float64(rep.RFixTriggered) / q)
+	m.unreachableAfter.Observe(float64(rep.Queries-rep.RFixReached) / q)
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ngfix/internal/graph"
+	"ngfix/internal/obs"
 	"ngfix/internal/vec"
 )
 
@@ -78,6 +79,10 @@ type OnlineFixer struct {
 	dim  int
 	nvec atomic.Int64
 
+	// metrics is nil unless OnlineConfig.Metrics supplied a registry; it
+	// is set once at construction, so reads need no synchronization.
+	metrics *fixerMetrics
+
 	searchers sync.Pool
 }
 
@@ -133,6 +138,11 @@ type OnlineConfig struct {
 	// this many inserts+deletes (0 disables mutation-triggered
 	// snapshots).
 	SnapshotEveryMutations int
+	// Metrics, when non-nil, receives the fixer's telemetry: per-search
+	// NDC/hop distributions and per-batch repair signals (edges added,
+	// unreachable-query rate before/after, batch duration), plus live
+	// gauges for vectors and the pending-queries buffer.
+	Metrics *obs.Registry
 }
 
 // NewOnlineFixer wraps ix. The wrapped index must not be used directly
@@ -165,6 +175,9 @@ func NewOnlineFixer(ix *Index, cfg OnlineConfig) *OnlineFixer {
 	}
 	o.nvec.Store(int64(ix.G.Len()))
 	o.searchers.New = func() interface{} { return graph.NewSearcher(ix.G) }
+	if cfg.Metrics != nil {
+		o.metrics = newFixerMetrics(cfg.Metrics, o)
+	}
 	return o
 }
 
@@ -188,6 +201,7 @@ func (o *OnlineFixer) SearchCtx(ctx context.Context, q []float32, k, ef int) ([]
 	res, st := s.SearchFromCtx(ctx, q, k, ef, o.ix.G.EntryPoint)
 	o.searchers.Put(s)
 	o.mu.RUnlock()
+	o.metrics.observeSearch(st.NDC, st.Hops)
 
 	// Recording takes only the small query-buffer mutex: concurrent
 	// searches no longer queue behind the index write lock to append a
@@ -376,6 +390,7 @@ func (o *OnlineFixer) FixPendingChecked() (FixReport, error) {
 		snap = o.wantSnapshotLocked()
 	}
 	o.mu.Unlock()
+	o.metrics.observeFix(rep)
 	if snap {
 		o.snapshotHoldingPmu() // failure already recorded in the counters
 	}

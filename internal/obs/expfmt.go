@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseText strictly parses a Prometheus text-format exposition and
+// returns every sample keyed by its full identity (name plus rendered
+// label set, e.g. `ngfix_search_duration_seconds_count{outcome="ok"}`).
+//
+// It is the verification half of the exposition writer: tests and the CI
+// scrape gate feed /metrics output through it and fail on anything a real
+// Prometheus server would reject — samples with no preceding # TYPE,
+// malformed label quoting, unparseable values, histograms whose buckets
+// are not cumulative or whose +Inf bucket disagrees with _count.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	typed := make(map[string]string)   // family -> type
+	hist := make(map[string]*histWire) // histogram family -> accumulated wire state
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, typed); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam, ok := sampleFamily(name, typed)
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		key := name + renderLabels(labels)
+		if _, dup := samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		samples[key] = value
+		if typed[fam] == "histogram" {
+			if err := accumulateHist(hist, fam, name, labels, value); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for fam, hw := range hist {
+		if err := hw.check(fam); err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+func parseComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if old, ok := typed[name]; ok && old != typ {
+			return fmt.Errorf("metric %s re-declared as %s (was %s)", name, typ, old)
+		}
+		typed[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+// sampleFamily resolves a sample name to its declared family, allowing
+// the _bucket/_sum/_count suffixes of a declared histogram.
+func sampleFamily(name string, typed map[string]string) (string, bool) {
+	if _, ok := typed[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && (typed[base] == "histogram" || typed[base] == "summary") {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+func parseSample(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// An optional timestamp may follow the value.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		ts := strings.TrimSpace(rest[sp+1:])
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("malformed timestamp %q", ts)
+		}
+		rest = rest[:sp]
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("malformed value %q", rest)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes a {name="value",...} block, honoring \\, \" and
+// \n escapes, and returns the remainder of the line.
+func parseLabels(s string) ([]Label, string, error) {
+	if s[0] != '{' {
+		return nil, s, fmt.Errorf("expected '{' in %q", s)
+	}
+	var labels []Label
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, s, fmt.Errorf("malformed label block %q", s)
+		}
+		lname := s[i : i+eq]
+		if !validLabelName(lname) {
+			return nil, s, fmt.Errorf("invalid label name %q", lname)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, s, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, s, fmt.Errorf("unterminated label value in %q", s)
+			}
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return nil, s, fmt.Errorf("dangling escape in %q", s)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, s, fmt.Errorf("unknown escape \\%c in %q", s[i+1], s)
+				}
+				i += 2
+				continue
+			case '"':
+				i++
+			default:
+				val.WriteByte(s[i])
+				i++
+				continue
+			}
+			break
+		}
+		labels = append(labels, Label{Name: lname, Value: val.String()})
+	}
+}
+
+// histWire accumulates one histogram family's samples for cross-checks.
+type histWire struct {
+	// buckets maps the non-le label identity to ascending (bound, count)
+	// pairs in exposition order.
+	buckets map[string][]bucketSample
+	counts  map[string]float64
+	sums    map[string]bool
+}
+
+type bucketSample struct {
+	le    float64
+	count float64
+}
+
+func accumulateHist(hist map[string]*histWire, fam, name string, labels []Label, value float64) error {
+	hw := hist[fam]
+	if hw == nil {
+		hw = &histWire{buckets: make(map[string][]bucketSample), counts: make(map[string]float64), sums: make(map[string]bool)}
+		hist[fam] = hw
+	}
+	switch {
+	case name == fam+"_bucket":
+		var rest []Label
+		le := ""
+		for _, l := range labels {
+			if l.Name == "le" {
+				le = l.Value
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		if le == "" {
+			return fmt.Errorf("histogram %s bucket without le label", fam)
+		}
+		bound, err := parseLE(le)
+		if err != nil {
+			return fmt.Errorf("histogram %s: %w", fam, err)
+		}
+		key := renderLabels(rest)
+		hw.buckets[key] = append(hw.buckets[key], bucketSample{le: bound, count: value})
+	case name == fam+"_count":
+		hw.counts[renderLabels(labels)] = value
+	case name == fam+"_sum":
+		hw.sums[renderLabels(labels)] = true
+	}
+	return nil
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed le %q", s)
+	}
+	return v, nil
+}
+
+func (hw *histWire) check(fam string) error {
+	for key, bs := range hw.buckets {
+		last := -1.0
+		prevBound := -1.0
+		sawInf := false
+		for _, b := range bs {
+			if b.le <= prevBound {
+				return fmt.Errorf("histogram %s%s: bucket bounds not ascending", fam, key)
+			}
+			if b.count < last {
+				return fmt.Errorf("histogram %s%s: bucket counts not cumulative", fam, key)
+			}
+			prevBound, last = b.le, b.count
+			if math.IsInf(b.le, 1) {
+				sawInf = true
+			}
+		}
+		if !sawInf {
+			return fmt.Errorf("histogram %s%s: missing +Inf bucket", fam, key)
+		}
+		count, ok := hw.counts[key]
+		if !ok {
+			return fmt.Errorf("histogram %s%s: missing _count", fam, key)
+		}
+		if count != last {
+			return fmt.Errorf("histogram %s%s: +Inf bucket %v != _count %v", fam, key, last, count)
+		}
+		if !hw.sums[key] {
+			return fmt.Errorf("histogram %s%s: missing _sum", fam, key)
+		}
+	}
+	return nil
+}

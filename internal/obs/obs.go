@@ -1,0 +1,167 @@
+// Package obs is the observability core of the serving stack: counters,
+// gauges, and fixed-bucket histograms cheap enough to live on the search
+// hot path, collected in a Registry that exposes them in the Prometheus
+// text format at /metrics.
+//
+// Design constraints, in order:
+//
+//   - Dependency-free. The whole stack (graph, core, persist, admission,
+//     server) reports through this package, so it must sit below all of
+//     them and import nothing but the standard library.
+//   - Lock-free on the write side. Observing a metric is one or two
+//     atomic adds — a search must never queue behind a scrape. Scrapes
+//     read the same atomics; a scrape racing an observation may see a
+//     histogram whose sum is one sample ahead of its count, which
+//     Prometheus tolerates (the next scrape converges).
+//   - Registration is startup-time and panics on programmer error
+//     (invalid names, duplicate series, type mismatch) — a misnamed
+//     metric should fail the first test that touches it, not silently
+//     export garbage.
+//
+// The exposition side lives in expfmt.go (including a strict parser used
+// by tests and the CI scrape gate), the slow-query log in slowquery.go,
+// and process-level gauges in process.go.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically non-decreasing cumulative metric. The zero
+// value is ready to use, but only counters obtained from a Registry are
+// scraped.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (CAS loop; contended adds retry).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Buckets are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+// Observe is two atomic adds plus a CAS for the sum — no locks, safe on
+// the hot path.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bucket bounds must be ascending")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds — the Prometheus base unit for
+// latency histograms.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot copies the cumulative bucket counts (per-bound, then +Inf),
+// total count, and sum for exposition.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, running, h.Sum()
+}
+
+// DefLatencyBuckets spans 0.5ms to 10s, the useful range for request and
+// WAL-append latency on this stack.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ExpBuckets returns n ascending bounds starting at start, each factor
+// times the previous — for long-tailed distributions like NDC.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n ascending bounds starting at start, spaced by
+// width — for bounded quantities like rates in [0,1].
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("obs: LinearBuckets needs width > 0, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}

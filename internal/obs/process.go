@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterProcessMetrics adds process-level gauges every deployment
+// wants on a dashboard next to the serving metrics: goroutine count,
+// heap in use, cumulative GC pauses, and uptime. Values are read at
+// scrape time; ReadMemStats is cheap at scrape cadence.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the metrics registry was initialized (process start for all practical purposes).",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_memstats_heap_inuse_bytes",
+		"Heap bytes in in-use spans.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+	reg.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a series. Series of the same
+// family (same metric name) differ only in labels — e.g. the search
+// latency histogram keyed by outcome.
+type Label struct {
+	Name, Value string
+}
+
+// Registry collects metric families and writes them in the Prometheus
+// text exposition format (version 0.0.4). Registration methods panic on
+// programmer error — invalid names, duplicate series, or re-registering a
+// name under a different type — and are meant for startup; Observe/Inc on
+// the returned handles are the hot-path operations.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          []*series
+	seen            map[string]bool // label-set dedup
+}
+
+type series struct {
+	labels []Label
+
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() float64
+	gaugeFn   func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Counter registers (or extends) a counter family and returns the series'
+// counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.add(name, help, "counter", &series{labels: labels, counter: c})
+	return c
+}
+
+// Gauge registers (or extends) a gauge family and returns the series'
+// gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, "gauge", &series{labels: labels, gauge: g})
+	return g
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for existing monotone counters owned by another subsystem (e.g.
+// the admission controller's totals).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if fn == nil {
+		panic("obs: nil CounterFunc for " + name)
+	}
+	r.add(name, help, "counter", &series{labels: labels, counterFn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time — for live
+// values like queue depth or pressure.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if fn == nil {
+		panic("obs: nil GaugeFunc for " + name)
+	}
+	r.add(name, help, "gauge", &series{labels: labels, gaugeFn: fn})
+}
+
+// Histogram registers (or extends) a histogram family with the given
+// ascending bucket upper bounds and returns the series' histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	h := newHistogram(buckets)
+	r.add(name, help, "histogram", &series{labels: labels, hist: h})
+	return h
+}
+
+func (r *Registry) add(name, help, typ string, s *series) {
+	if !validMetricName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range s.labels {
+		if !validLabelName(l.Name) {
+			panic("obs: invalid label name " + strconv.Quote(l.Name) + " on " + name)
+		}
+		if l.Name == "le" && typ == "histogram" {
+			panic("obs: label \"le\" is reserved on histogram " + name)
+		}
+	}
+	key := renderLabels(s.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, seen: make(map[string]bool)}
+		r.byName[name] = f
+		r.fams = append(r.fams, f)
+	} else if f.typ != typ {
+		panic("obs: metric " + name + " registered as " + f.typ + ", now " + typ)
+	}
+	if f.seen[key] {
+		panic("obs: duplicate series " + name + key)
+	}
+	f.seen[key] = true
+	f.series = append(f.series, s)
+}
+
+// WriteText writes every registered family in the Prometheus text format,
+// in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	// Snapshot the family list and each family's series under the lock:
+	// registration is legal (if unusual) while scrapes are in flight. The
+	// metric values themselves are atomics and need no lock.
+	r.mu.Lock()
+	fams := make([]family, len(r.fams))
+	for i, f := range r.fams {
+		fams[i] = family{name: f.name, help: f.help, typ: f.typ,
+			series: append([]*series(nil), f.series...)}
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for i := range fams {
+		f := &fams[i]
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w *bufio.Writer, f *family, s *series) {
+	lbl := renderLabels(s.labels)
+	switch {
+	case s.counter != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, lbl, strconv.FormatUint(s.counter.Value(), 10))
+	case s.gauge != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, lbl, formatFloat(s.gauge.Value()))
+	case s.counterFn != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, lbl, formatFloat(s.counterFn()))
+	case s.gaugeFn != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, lbl, formatFloat(s.gaugeFn()))
+	case s.hist != nil:
+		cum, count, sum := s.hist.snapshot()
+		for i, bound := range s.hist.bounds {
+			fmt.Fprintf(w, "%s_bucket%s %s\n", f.name,
+				renderLabels(append(append([]Label(nil), s.labels...), Label{"le", formatFloat(bound)})),
+				strconv.FormatUint(cum[i], 10))
+		}
+		fmt.Fprintf(w, "%s_bucket%s %s\n", f.name,
+			renderLabels(append(append([]Label(nil), s.labels...), Label{"le", "+Inf"})),
+			strconv.FormatUint(cum[len(cum)-1], 10))
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, lbl, formatFloat(sum))
+		fmt.Fprintf(w, "%s_count%s %s\n", f.name, lbl, strconv.FormatUint(count, 10))
+	}
+}
+
+// ContentType is the Prometheus text exposition content type ServeHTTP
+// answers with.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ServeHTTP makes the registry mountable at /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	if err := r.WriteText(w); err != nil {
+		// Headers are on the wire; nothing more to do but stop writing.
+		return
+	}
+}
+
+// renderLabels produces `{a="x",b="y"}` (sorted by label name for a
+// stable identity), or "" for no labels.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SlowQuery is one search that crossed the slow threshold, with the
+// fields an operator needs to explain it: how much work the search did
+// (NDC, hops), whether overload machinery touched it (efUsed vs ef,
+// clamped, truncated), and how long it took.
+type SlowQuery struct {
+	ID        uint64 // server-assigned monotone search sequence number
+	K         int
+	EF        int // requested (or defaulted) search-list size
+	EFUsed    int // after pressure clamping
+	NDC       int64
+	Hops      int
+	Truncated bool
+	Clamped   bool
+	Duration  time.Duration
+}
+
+// SlowQueryLog emits a structured logfmt line for every search at or over
+// Threshold. A nil log, a zero threshold, or a nil Logf never emits —
+// callers can observe unconditionally.
+//
+// Line format (one line, stable key order, parseable as logfmt):
+//
+//	slow-query id=42 k=10 ef=100 efUsed=80 ndc=1234 hops=57 truncated=false clamped=true durMs=12.345
+type SlowQueryLog struct {
+	// Threshold gates emission: only queries with Duration >= Threshold
+	// are logged. <= 0 disables the log.
+	Threshold time.Duration
+	// Logf receives the formatted line (log.Printf-shaped).
+	Logf func(format string, args ...interface{})
+
+	seq atomic.Uint64
+}
+
+// NextID returns the next search sequence number — the id the serving
+// layer stamps on each search so a slow-query line can be correlated with
+// client-side traces.
+func (l *SlowQueryLog) NextID() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.seq.Add(1)
+}
+
+// Observe logs q when it crosses the threshold and reports whether it
+// did. Safe on the hot path: the fast path is two comparisons.
+func (l *SlowQueryLog) Observe(q SlowQuery) bool {
+	if l == nil || l.Threshold <= 0 || q.Duration < l.Threshold {
+		return false
+	}
+	if l.Logf != nil {
+		l.Logf("slow-query id=%d k=%d ef=%d efUsed=%d ndc=%d hops=%d truncated=%t clamped=%t durMs=%.3f",
+			q.ID, q.K, q.EF, q.EFUsed, q.NDC, q.Hops, q.Truncated, q.Clamped,
+			float64(q.Duration)/float64(time.Millisecond))
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package persist
+
+import (
+	"ngfix/internal/obs"
+)
+
+// storeMetrics is the durability-path telemetry: append and snapshot
+// latency (the fsync cost every acknowledged mutation pays), error
+// counters for both, and the live count of ops replayable from the
+// active log. All observations happen on paths already serialized by
+// the store mutex, so plain histogram/counter updates suffice.
+type storeMetrics struct {
+	appendSeconds   *obs.Histogram
+	appendErrors    *obs.Counter
+	snapshotSeconds *obs.Histogram
+	snapshotErrors  *obs.Counter
+}
+
+// RegisterMetrics registers the store's telemetry with reg and starts
+// recording. Call once, before serving traffic.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	m := &storeMetrics{
+		appendSeconds: reg.Histogram("ngfix_wal_append_seconds",
+			"Latency of one op-log append, including fsync.",
+			obs.DefLatencyBuckets),
+		appendErrors: reg.Counter("ngfix_wal_append_errors_total",
+			"Op-log appends that failed (log unavailable or write/sync error)."),
+		snapshotSeconds: reg.Histogram("ngfix_wal_snapshot_seconds",
+			"Latency of writing and publishing one snapshot generation.",
+			obs.ExpBuckets(0.01, 2, 14)),
+		snapshotErrors: reg.Counter("ngfix_wal_snapshot_errors_total",
+			"Snapshot attempts that failed (previous generation stays the recovery point)."),
+	}
+	reg.GaugeFunc("ngfix_wal_pending_ops",
+		"Ops appended to the active log since the last snapshot (replay cost on crash).",
+		func() float64 { return float64(s.PendingOps()) })
+	reg.GaugeFunc("ngfix_wal_generation",
+		"Active snapshot generation.",
+		func() float64 { return float64(s.Generation()) })
+	s.mu.Lock()
+	s.metrics = m
+	s.mu.Unlock()
+}
+
+// observeAppend and observeSnapshot are nil-safe so the uninstrumented
+// path (tests, benchmarks, embedded use) pays only a nil check.
+func (m *storeMetrics) observeAppend(seconds float64, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.appendErrors.Inc()
+		return
+	}
+	m.appendSeconds.Observe(seconds)
+}
+
+func (m *storeMetrics) observeSnapshot(seconds float64, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.snapshotErrors.Inc()
+		return
+	}
+	m.snapshotSeconds.Observe(seconds)
+}

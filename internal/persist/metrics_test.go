@@ -1,0 +1,83 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"ngfix/internal/obs"
+)
+
+// TestStoreMetrics checks that appends and snapshots move the latency
+// histograms, that failures land in the error counters instead, and
+// that the exposition stays well-formed throughout.
+func TestStoreMetrics(t *testing.T) {
+	g := testGraph(t, 30)
+	ffs := &faultFS{inner: osFS{}, budget: 1 << 20}
+	st, err := Open(t.TempDir(), Options{FS: ffs, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	st.RegisterMetrics(reg)
+
+	if err := st.Snapshot(g); err != nil {
+		t.Fatal(err)
+	}
+	const appends = 5
+	for i := 0; i < appends; i++ {
+		if err := st.LogInsert([]float32{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	scrape := func() map[string]float64 {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := reg.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		samples, err := obs.ParseText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("exposition invalid: %v\n%s", err, buf.String())
+		}
+		return samples
+	}
+
+	samples := scrape()
+	if got := samples["ngfix_wal_append_seconds_count"]; got != appends {
+		t.Fatalf("append count = %v, want %d", got, appends)
+	}
+	if got := samples["ngfix_wal_snapshot_seconds_count"]; got != 1 {
+		t.Fatalf("snapshot count = %v, want 1", got)
+	}
+	if got := samples["ngfix_wal_pending_ops"]; got != appends {
+		t.Fatalf("pending ops = %v, want %d", got, appends)
+	}
+	if got := samples["ngfix_wal_generation"]; got != 1 {
+		t.Fatalf("generation = %v, want 1", got)
+	}
+	if samples["ngfix_wal_append_errors_total"] != 0 || samples["ngfix_wal_snapshot_errors_total"] != 0 {
+		t.Fatal("error counters moved on the happy path")
+	}
+
+	// Kill the filesystem: the next append fails and must count as an
+	// error, not a latency observation; a snapshot attempt likewise.
+	ffs.budget = 0
+	ffs.dead = true
+	if err := st.LogInsert([]float32{1, 2, 3, 4}); err == nil {
+		t.Fatal("append on dead fs succeeded")
+	}
+	if err := st.Snapshot(g); err == nil {
+		t.Fatal("snapshot on dead fs succeeded")
+	}
+	samples = scrape()
+	if got := samples["ngfix_wal_append_errors_total"]; got != 1 {
+		t.Fatalf("append errors = %v, want 1", got)
+	}
+	if got := samples["ngfix_wal_snapshot_errors_total"]; got != 1 {
+		t.Fatalf("snapshot errors = %v, want 1", got)
+	}
+	if got := samples["ngfix_wal_append_seconds_count"]; got != appends {
+		t.Fatalf("append count moved on failure: %v", got)
+	}
+}

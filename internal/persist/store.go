@@ -38,6 +38,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"ngfix/internal/graph"
 )
@@ -67,6 +68,8 @@ type Store struct {
 	ops  int      // records appended to the active log
 
 	logErr error // first append failure since the last good snapshot
+
+	metrics *storeMetrics // nil until RegisterMetrics; nil-safe observers
 }
 
 const (
@@ -200,9 +203,11 @@ func (s *Store) Replay(apply func(Op) error) (int, error) {
 // op log is opened, and older generations are deleted. On failure the
 // previous generation (snapshot and log) is untouched and remains the
 // recovery point.
-func (s *Store) Snapshot(g *graph.Graph) error {
+func (s *Store) Snapshot(g *graph.Graph) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := time.Now()
+	defer func() { s.metrics.observeSnapshot(time.Since(start).Seconds(), err) }()
 	newGen := s.gen + 1
 	if err := writeSnapshotFile(s.fs, s.snapPath(newGen), g, s.sync); err != nil {
 		return err
@@ -255,9 +260,11 @@ func (s *Store) advanceLocked(newGen uint64) {
 // before returning, so an acknowledged op survives a crash. After an
 // append failure the log may end mid-record, so the store refuses further
 // appends until a Snapshot begins a clean generation.
-func (s *Store) Append(op Op) error {
+func (s *Store) Append(op Op) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := time.Now()
+	defer func() { s.metrics.observeAppend(time.Since(start).Seconds(), err) }()
 	if s.log == nil {
 		if s.logErr != nil {
 			return fmt.Errorf("persist: op log unavailable since: %w", s.logErr)

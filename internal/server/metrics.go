@@ -1,0 +1,72 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"ngfix/internal/obs"
+)
+
+// Search outcomes for the duration histogram. Precedence when several
+// apply: shed > truncated > clamped > ok — the most operationally
+// interesting thing that happened to the request wins.
+const (
+	outcomeOK        = "ok"
+	outcomeTruncated = "truncated"
+	outcomeClamped   = "clamped"
+	outcomeShed      = "shed"
+)
+
+// serverMetrics is the HTTP layer's telemetry: search latency split by
+// what the overload machinery did to each request, plus how many
+// searches crossed the slow-query threshold.
+type serverMetrics struct {
+	searchSeconds map[string]*obs.Histogram // by outcome, pre-registered
+	slowQueries   *obs.Counter
+}
+
+// EnableMetrics registers the server's families with reg, wires the
+// admission controller's metrics when one is configured, and makes
+// GET /metrics serve the registry. Call once, before serving traffic.
+func (s *Server) EnableMetrics(reg *obs.Registry) {
+	m := &serverMetrics{searchSeconds: make(map[string]*obs.Histogram)}
+	for _, outcome := range []string{outcomeOK, outcomeTruncated, outcomeClamped, outcomeShed} {
+		m.searchSeconds[outcome] = reg.Histogram("ngfix_search_duration_seconds",
+			"End-to-end /v1/search latency (decode through response), by outcome.",
+			obs.DefLatencyBuckets, obs.Label{Name: "outcome", Value: outcome})
+	}
+	m.slowQueries = reg.Counter("ngfix_slow_queries_total",
+		"Searches at or over the slow-query threshold.")
+	if s.Admission != nil {
+		s.Admission.RegisterMetrics(reg)
+	}
+	s.metrics = m
+	s.metricsReg = reg
+}
+
+// handleMetrics serves the Prometheus exposition, or 404 when metrics
+// were not enabled (the route exists either way, so probes get a clean
+// answer instead of the mux's default).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.metricsReg == nil {
+		http.Error(w, "metrics not enabled", http.StatusNotFound)
+		return
+	}
+	s.metricsReg.ServeHTTP(w, r)
+}
+
+// observeSearch records one search's latency under its outcome. Nil-safe:
+// an uninstrumented server pays one nil check.
+func (m *serverMetrics) observeSearch(outcome string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.searchSeconds[outcome].ObserveDuration(d)
+}
+
+func (m *serverMetrics) observeSlowQuery() {
+	if m == nil {
+		return
+	}
+	m.slowQueries.Inc()
+}

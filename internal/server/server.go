@@ -56,6 +56,7 @@ import (
 
 	"ngfix/internal/admission"
 	"ngfix/internal/core"
+	"ngfix/internal/obs"
 )
 
 // DefaultMaxBodyBytes caps request bodies when Server.MaxBodyBytes is
@@ -95,11 +96,20 @@ type Server struct {
 	// EFFloor is the lowest effective ef the pressure-degradation policy
 	// may clamp a search to; 0 disables clamping.
 	EFFloor int
+	// SlowQueries, when non-nil, logs every search at or over its
+	// threshold with the fields needed to explain it (ndc, hops, clamping,
+	// truncation, duration).
+	SlowQueries *obs.SlowQueryLog
 
 	ready     atomic.Bool
 	draining  atomic.Bool
 	truncated atomic.Int64
 	clamped   atomic.Int64
+
+	// metrics/metricsReg are set once by EnableMetrics before serving;
+	// nil means uninstrumented (observers are nil-safe).
+	metrics    *serverMetrics
+	metricsReg *obs.Registry
 }
 
 // New builds a Server around an online fixer. The server starts not
@@ -118,6 +128,7 @@ func New(fixer *core.OnlineFixer) *Server {
 	s.mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))
 	s.mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealthz))
 	s.mux.HandleFunc("/readyz", s.method(http.MethodGet, s.handleReadyz))
+	s.mux.HandleFunc("/metrics", s.method(http.MethodGet, s.handleMetrics))
 	return s
 }
 
@@ -223,19 +234,42 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 // server. Queue-wait budget expiry gets the same answer — from the
 // client's point of view both mean "overloaded right now, come back".
 func (s *Server) shedResponse(w http.ResponseWriter, err error) {
-	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	pressure := 0.0
+	if s.Admission != nil {
+		pressure = s.Admission.Pressure()
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(pressure)))
 	s.httpError(w, http.StatusTooManyRequests, fmt.Errorf("overloaded: %v", err))
 }
 
-// retryAfterSeconds hints how long a shed client should wait: roughly
-// one server budget, at least a second.
-func (s *Server) retryAfterSeconds() int {
-	if s.SearchTimeout <= 0 {
-		return 1
+// maxRetryAfterSeconds caps the backoff hint: past this, a longer wait
+// stops helping the server and only hurts the client.
+const maxRetryAfterSeconds = 120
+
+// retryAfterSeconds hints how long a shed client should wait. The base
+// is roughly one server budget (at least a second); it scales with queue
+// pressure — a full queue quadruples the hint — so clients back off
+// harder exactly when retries are least likely to land, instead of every
+// shed client returning in lockstep after a constant interval.
+func (s *Server) retryAfterSeconds(pressure float64) int {
+	base := 1.0
+	if s.SearchTimeout > 0 {
+		base = math.Ceil(s.SearchTimeout.Seconds())
+		if base < 1 {
+			base = 1
+		}
 	}
-	secs := int(math.Ceil(s.SearchTimeout.Seconds()))
+	if pressure < 0 {
+		pressure = 0
+	} else if pressure > 1 {
+		pressure = 1
+	}
+	secs := int(math.Ceil(base * (1 + 3*pressure)))
 	if secs < 1 {
 		secs = 1
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
 	}
 	return secs
 }
@@ -330,6 +364,10 @@ type AdmissionStatsResponse struct {
 	Admitted   uint64  `json:"admitted"`
 	Shed       uint64  `json:"shed"`
 	TimedOut   uint64  `json:"timedOut"`
+	// Reclaimed counts requests granted capacity concurrently with their
+	// context ending: the units went back and the client saw 429, so they
+	// are in neither Admitted nor TimedOut.
+	Reclaimed uint64 `json:"reclaimed"`
 }
 
 // StatsResponse is the /v1/stats reply.
@@ -357,6 +395,7 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req SearchRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -370,6 +409,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	requestedEF := ef
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
@@ -383,6 +423,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		release, err := s.Admission.Acquire(ctx, s.Admission.SearchCost(ef))
 		if err != nil {
+			s.metrics.observeSearch(outcomeShed, time.Since(start))
 			s.shedResponse(w, err)
 			return
 		}
@@ -392,6 +433,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	res, st := s.fixer.SearchCtx(ctx, req.Vector, k, ef)
 	if st.Truncated {
 		s.truncated.Add(1)
+	}
+	dur := time.Since(start)
+	outcome := outcomeOK
+	switch {
+	case st.Truncated:
+		outcome = outcomeTruncated
+	case clamped:
+		outcome = outcomeClamped
+	}
+	s.metrics.observeSearch(outcome, dur)
+	if s.SlowQueries.Observe(obs.SlowQuery{
+		ID: s.SlowQueries.NextID(), K: k, EF: requestedEF, EFUsed: ef,
+		NDC: st.NDC, Hops: st.Hops,
+		Truncated: st.Truncated, Clamped: clamped, Duration: dur,
+	}) {
+		s.metrics.observeSlowQuery()
 	}
 	resp := SearchResponse{
 		NDC: st.NDC, Truncated: st.Truncated,
@@ -518,6 +575,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Queued: ast.Queued, QueueDepth: ast.QueueDepth, MaxQueued: ast.MaxQueued,
 			Pressure: ast.Pressure,
 			Admitted: ast.Admitted, Shed: ast.Shed, TimedOut: ast.TimedOut,
+			Reclaimed: ast.Reclaimed,
 		}
 	}
 	s.writeJSON(w, StatsResponse{
