@@ -21,6 +21,14 @@
 // (and on SIGTERM/SIGINT, after draining in-flight requests), and on
 // startup recovers the last acknowledged state from the newest snapshot
 // plus the log — including the extra edges learned from live traffic.
+//
+// With -shards N the index splits into N shards, each its own fixer,
+// op log, and snapshot directory (shard-<i>/ under -snapshot-dir, with
+// a MANIFEST pinning the count): searches scatter-gather across all
+// shards, mutations route by id, and a stalled or degraded shard never
+// blocks the others. The default -shards 1 keeps the pre-sharding
+// single-directory layout, byte-compatible with existing state; a
+// sharded directory remembers its count, so restarts need no flag.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -45,6 +54,7 @@ import (
 	"ngfix/internal/obs"
 	"ngfix/internal/persist"
 	"ngfix/internal/server"
+	"ngfix/internal/shard"
 	"ngfix/internal/vec"
 )
 
@@ -66,6 +76,7 @@ func run(args []string) int {
 	autofix := fl.Bool("autofix", false, "fix synchronously when the batch fills (otherwise POST /v1/fix or use -fix-interval)")
 	interval := fl.Duration("fix-interval", 0, "background fixing period (0 disables)")
 	snapDir := fl.String("snapshot-dir", "", "directory for snapshots + op log (enables crash safety and recovery)")
+	shards := fl.Int("shards", 1, "shard count: each shard gets its own fixer, op log, and snapshot subdirectory; searches scatter-gather (fixed at build time — a sharded -snapshot-dir pins it)")
 	snapEvery := fl.Int("snapshot-every", 8, "automatic snapshot every N fix batches (0 disables; needs -snapshot-dir)")
 	snapOps := fl.Int("snapshot-ops", 4096, "automatic snapshot every M inserts+deletes (0 disables; needs -snapshot-dir)")
 	oplog := fl.Bool("oplog", true, "journal inserts/deletes/fix batches between snapshots (needs -snapshot-dir)")
@@ -78,6 +89,12 @@ func run(args []string) int {
 	slowQueryMS := fl.Int("slow-query-ms", 0, "log every search at or over this many milliseconds (0 disables the slow-query log)")
 	pprofOn := fl.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling data; enable only on trusted networks)")
 	fl.Parse(args)
+	shardsFlagSet := false
+	fl.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsFlagSet = true
+		}
+	})
 
 	var reg *obs.Registry
 	if *metricsOn {
@@ -85,39 +102,66 @@ func run(args []string) int {
 		obs.RegisterProcessMetrics(reg)
 	}
 
-	// --- Index acquisition: recover from the snapshot dir when it has
-	// state, otherwise build/load and seed the dir.
-	var st *persist.Store
+	// --- Shard count resolution: a sharded snapshot dir pins the count
+	// via its manifest (routing is a function of it); a legacy dir is one
+	// shard; a fresh dir takes the flag.
+	n := *shards
+	var stores []*persist.Store
 	if *snapDir != "" {
 		var err error
-		st, err = persist.Open(*snapDir, persist.Options{})
+		n, err = persist.ResolveShards(nil, *snapDir, *shards, shardsFlagSet)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		stores, err = persist.OpenSharded(*snapDir, n, persist.Options{})
 		if err != nil {
 			log.Printf("open snapshot dir: %v", err)
 			return 1
 		}
-		if reg != nil {
-			st.RegisterMetrics(reg)
+	} else if n < 1 {
+		log.Printf("-shards must be at least 1, got %d", n)
+		return 1
+	}
+
+	// Telemetry layout: with one shard every family lives unlabeled on
+	// the global registry, byte-compatible with pre-sharding dashboards.
+	// With N shards each fixer/store registers on its own registry
+	// carrying a shard="<i>" const label; /metrics merges them.
+	var shardRegs []*obs.Registry
+	fixerReg := func(i int) *obs.Registry { return reg }
+	if reg != nil && n > 1 {
+		shardRegs = make([]*obs.Registry, n)
+		for i := range shardRegs {
+			shardRegs[i] = obs.NewRegistry(obs.Label{Name: "shard", Value: strconv.Itoa(i)})
+		}
+		fixerReg = func(i int) *obs.Registry { return shardRegs[i] }
+	}
+	for i, st := range stores {
+		if r := fixerReg(i); r != nil {
+			st.RegisterMetrics(r)
 		}
 	}
 
-	var ix *core.Index
+	// --- Index acquisition: recover per shard from the snapshot dir when
+	// it has state, otherwise build/load, partition row-interleaved
+	// (global id = original row index), and seed the dir.
+	var ixs []*core.Index
 	opts := core.Options{LEx: *lex}
+	recovered := len(stores) > 0 && stores[0].HasState()
 	switch {
-	case st != nil && st.HasState():
-		g, err := st.Load()
+	case recovered:
+		var replayed []int
+		var err error
+		ixs, replayed, err = shard.Recover(stores, opts)
 		if err != nil {
-			log.Printf("load snapshot: %v", err)
+			log.Printf("recover: %v", err)
 			return 1
 		}
-		opts.PreserveEntry = true
-		ix = core.New(g, opts)
-		replayed, err := st.Replay(func(op persist.Op) error { return applyOp(ix, op) })
-		if err != nil {
-			log.Printf("replay op log: %v", err)
-			return 1
+		for i, ix := range ixs {
+			log.Printf("recovered shard %d/%d from %s: generation %d, %d vectors (%d live), %d ops replayed",
+				i, n, stores[i].Dir(), stores[i].Generation(), ix.G.Len(), ix.G.Live(), replayed[i])
 		}
-		log.Printf("recovered index from %s: generation %d, %d vectors (%d live), %d ops replayed",
-			*snapDir, st.Generation(), g.Len(), g.Live(), replayed)
 	case *indexPath != "":
 		g, err := graph.Load(*indexPath)
 		if err != nil {
@@ -125,7 +169,15 @@ func run(args []string) int {
 			return 1
 		}
 		log.Printf("loaded index: %d vectors, dim %d, metric %s", g.Len(), g.Dim(), g.Metric)
-		ix = core.New(g, opts)
+		if n == 1 {
+			// Unsharded: serve the prebuilt graph exactly as loaded.
+			ixs = []*core.Index{core.New(g, opts)}
+		} else {
+			// A monolithic index cannot be split edge-for-edge; partition
+			// its vectors and rebuild each shard's base graph.
+			log.Printf("resharding prebuilt index into %d shards (per-shard base graphs rebuilt with -m/-efc)", n)
+			ixs = buildShards(g.Vectors, n, hnsw.Config{M: *m, EFConstruction: *efc, Metric: g.Metric, Seed: 7}, opts)
+		}
 	case *basePath != "":
 		base, err := dataset.LoadMatrix(*basePath)
 		if err != nil {
@@ -138,41 +190,50 @@ func run(args []string) int {
 			return 1
 		}
 		start := time.Now()
-		g := hnsw.Build(base, hnsw.Config{M: *m, EFConstruction: *efc, Metric: metric, Seed: 7}).Bottom()
-		log.Printf("built HNSW base over %d vectors in %s", base.Rows(), time.Since(start).Round(time.Millisecond))
-		ix = core.New(g, opts)
+		ixs = buildShards(base, n, hnsw.Config{M: *m, EFConstruction: *efc, Metric: metric, Seed: 7}, opts)
+		log.Printf("built HNSW base over %d vectors in %d shard(s) in %s", base.Rows(), n, time.Since(start).Round(time.Millisecond))
 	default:
 		log.Print("one of -index, -base, or a non-empty -snapshot-dir is required")
 		return 1
 	}
 
-	// Seal startup state into a fresh generation: recovery never appends
-	// to a log that might end in a torn record, and a fresh dir gets its
-	// first durable snapshot before serving a single request.
-	var wal core.WAL
-	if st != nil {
-		if err := st.Snapshot(ix.G); err != nil {
-			log.Printf("initial snapshot: %v", err)
-			return 1
+	// Seal startup state into a fresh generation per shard: recovery
+	// never appends to a log that might end in a torn record, and a
+	// fresh dir gets its first durable snapshot before serving a single
+	// request.
+	fixers := make([]*core.OnlineFixer, len(ixs))
+	for i, ix := range ixs {
+		var wal core.WAL
+		if len(stores) > 0 {
+			if err := stores[i].Snapshot(ix.G); err != nil {
+				log.Printf("shard %d: initial snapshot: %v", i, err)
+				return 1
+			}
+			if *oplog {
+				wal = stores[i]
+			} else {
+				wal = snapshotOnly{stores[i]}
+			}
 		}
-		if *oplog {
-			wal = st
-		} else {
-			wal = snapshotOnly{st}
-			log.Print("op log disabled (-oplog=false): mutations between snapshots will not survive a crash")
-		}
+		fixers[i] = core.NewOnlineFixer(ix, core.OnlineConfig{
+			BatchSize: *batch, SampleEvery: *sample, AutoFix: *autofix,
+			WAL:                  wal,
+			SnapshotEveryBatches: *snapEvery, SnapshotEveryMutations: *snapOps,
+			Metrics: fixerReg(i),
+		})
+	}
+	if len(stores) > 0 && !*oplog {
+		log.Print("op log disabled (-oplog=false): mutations between snapshots will not survive a crash")
+	}
+	group, err := shard.NewGroup(fixers)
+	if err != nil {
+		log.Printf("assemble shard group: %v", err)
+		return 1
 	}
 
-	fixer := core.NewOnlineFixer(ix, core.OnlineConfig{
-		BatchSize: *batch, SampleEvery: *sample, AutoFix: *autofix,
-		WAL:                  wal,
-		SnapshotEveryBatches: *snapEvery, SnapshotEveryMutations: *snapOps,
-		Metrics:              reg,
-	})
-
-	s := server.New(fixer)
-	if st != nil {
-		s.SnapshotFunc = fixer.Snapshot
+	s := server.NewSharded(group)
+	if len(stores) > 0 {
+		s.SnapshotFunc = group.Snapshot
 	}
 	if *maxInflight > 0 {
 		s.Admission = admission.New(admission.Config{Capacity: *maxInflight, QueueDepth: *queueDepth})
@@ -180,7 +241,7 @@ func run(args []string) int {
 	s.SearchTimeout = *searchTimeout
 	s.EFFloor = *efFloor
 	if reg != nil {
-		s.EnableMetrics(reg) // also wires the admission controller's families
+		s.EnableMetrics(reg, shardRegs...) // also wires the admission controller's families
 	}
 	if *slowQueryMS > 0 {
 		s.SlowQueries = &obs.SlowQueryLog{
@@ -210,7 +271,7 @@ func run(args []string) int {
 	defer stop()
 
 	if *interval > 0 {
-		go fixer.RunBackground(ctx, *interval, log.Printf)
+		go group.RunBackground(ctx, *interval, log.Printf)
 	}
 
 	srv := &http.Server{
@@ -226,8 +287,8 @@ func run(args []string) int {
 		log.Printf("listen: %v", err)
 		return 1
 	}
-	log.Printf("serving on %s (fix batch %d, autofix %v, interval %s, snapshots %v)",
-		ln.Addr(), *batch, *autofix, *interval, st != nil)
+	log.Printf("serving on %s (shards %d, fix batch %d, autofix %v, interval %s, snapshots %v)",
+		ln.Addr(), n, *batch, *autofix, *interval, len(stores) > 0)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	s.SetReady(true)
@@ -251,46 +312,41 @@ func run(args []string) int {
 
 	// Fold any still-pending recorded queries into the graph, then make
 	// the final state durable.
-	if rep := fixer.FixPending(); rep.Queries > 0 {
+	if rep, err := group.FixPendingChecked(); err != nil {
+		log.Printf("final fix: %v", err)
+	} else if rep.Queries > 0 {
 		log.Printf("final fix: %d queries, +%d edges", rep.Queries, rep.NGFixEdges+rep.RFixEdges)
 	}
-	if st != nil {
-		if err := fixer.Snapshot(); err != nil {
+	if len(stores) > 0 {
+		if err := group.Snapshot(); err != nil {
 			log.Printf("final snapshot: %v", err)
 			return 1
 		}
-		if err := st.Close(); err != nil {
-			log.Printf("close store: %v", err)
-			return 1
+		gens := make([]string, len(stores))
+		for i, st := range stores {
+			if err := st.Close(); err != nil {
+				log.Printf("close store shard %d: %v", i, err)
+				return 1
+			}
+			gens[i] = strconv.FormatUint(st.Generation(), 10)
 		}
-		log.Printf("final snapshot written (generation %d)", st.Generation())
+		log.Printf("final snapshot written (generation %s)", strings.Join(gens, ","))
 	}
 	log.Print("shutdown complete")
 	return 0
 }
 
-// applyOp replays one op-log record onto the index, mirroring what the
-// fixer did live: inserts re-run base-graph insertion, deletes re-mark
-// tombstones, fix batches re-apply the exact extra-adjacency
-// replacements.
-func applyOp(ix *core.Index, op persist.Op) error {
-	switch op.Kind {
-	case persist.OpInsert:
-		if len(op.Vector) != ix.G.Dim() {
-			return fmt.Errorf("replay insert: dim %d != index dim %d", len(op.Vector), ix.G.Dim())
-		}
-		ix.Insert(op.Vector)
-		return nil
-	case persist.OpDelete:
-		if int(op.ID) >= ix.G.Len() {
-			return fmt.Errorf("replay delete: id %d out of range", op.ID)
-		}
-		ix.Delete(op.ID)
-		return nil
-	case persist.OpFixEdges:
-		return ix.ApplyExtraUpdates(op.Updates)
+// buildShards partitions base row-interleaved (row i → shard i%n, so
+// global id == original row index), builds each shard's HNSW base
+// graph, and wraps the bottoms as fixable indexes. n==1 degenerates to
+// one graph over the whole matrix — identical to the pre-sharding path.
+func buildShards(base *vec.Matrix, n int, cfg hnsw.Config, opts core.Options) []*core.Index {
+	parts := shard.Partition(base, n)
+	ixs := make([]*core.Index, len(parts))
+	for i, p := range parts {
+		ixs[i] = core.New(hnsw.Build(p, cfg).Bottom(), opts)
 	}
-	return fmt.Errorf("replay: unknown op kind %d", op.Kind)
+	return ixs
 }
 
 // snapshotOnly is the -oplog=false durability mode: snapshots still run

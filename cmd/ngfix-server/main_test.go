@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"syscall"
@@ -224,6 +225,100 @@ func TestGracefulShutdownAndRecovery(t *testing.T) {
 		t.Fatalf("second-life insert lost: %d vectors, want %d", final.Vectors, after.Vectors+1)
 	}
 	p3.terminate(t)
+}
+
+// TestShardedServeAndRecovery runs the binary at -shards 2: the state
+// directory grows shard-<i>/ subdirectories plus a MANIFEST pinning the
+// count, stats expose the per-shard breakdown, and a restart with no
+// -shards flag at all recovers the same sharded index — the directory,
+// not the command line, is the source of truth for the shard count.
+func TestShardedServeAndRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the server binary")
+	}
+	work := t.TempDir()
+	bin := buildServerBinary(t, work)
+
+	d := dataset.Generate(dataset.Config{
+		Name: "shard-e2e", N: 400, NHist: 60, NTest: 10,
+		Dim: 8, Clusters: 5, Metric: vec.L2,
+		GapMagnitude: 1.5, ClusterStd: 0.2, QueryStdScale: 1.5, Seed: 17,
+	})
+	g := hnsw.Build(d.Base, hnsw.Config{M: 8, EFConstruction: 60, Metric: vec.L2, Seed: 1}).Bottom()
+	idx := filepath.Join(work, "base.ngig")
+	if err := g.Save(idx); err != nil {
+		t.Fatal(err)
+	}
+	snapDir := filepath.Join(work, "state")
+
+	// First life: reshard the prebuilt index into two shards and serve.
+	p := startServer(t, bin, "-index", idx, "-snapshot-dir", snapDir,
+		"-shards", "2", "-fix-batch", "16")
+	for _, path := range []string{"MANIFEST", "shard-0", "shard-1"} {
+		if _, err := os.Stat(filepath.Join(snapDir, path)); err != nil {
+			t.Fatalf("sharded state layout missing %s: %v", path, err)
+		}
+	}
+	for qi := 0; qi < 8; qi++ {
+		var sr server.SearchResponse
+		p.post(t, "/v1/search", server.SearchRequest{Vector: d.History.Row(qi), K: server.IntPtr(5), EF: server.IntPtr(30)}, &sr)
+		if len(sr.Results) != 5 {
+			t.Fatalf("scatter-gather search returned %d results", len(sr.Results))
+		}
+	}
+	var fr server.FixResponse
+	p.post(t, "/v1/fix", struct{}{}, &fr)
+	if fr.Queries == 0 {
+		t.Fatal("fix batch processed no queries")
+	}
+	var ins server.InsertResponse
+	p.post(t, "/v1/insert", server.InsertRequest{Vector: d.TestOOD.Row(0)}, &ins)
+	var del server.DeleteResponse
+	p.post(t, "/v1/delete", server.DeleteRequest{ID: 7}, &del)
+	if !del.Deleted {
+		t.Fatal("delete failed")
+	}
+	before := p.stats(t)
+	if before.Shards != 2 || len(before.PerShard) != 2 {
+		t.Fatalf("stats: shards=%d perShard=%d, want 2/2", before.Shards, len(before.PerShard))
+	}
+	sumVec := 0
+	for _, ps := range before.PerShard {
+		sumVec += ps.Vectors
+	}
+	if sumVec != before.Vectors {
+		t.Fatalf("per-shard vectors sum %d != aggregate %d", sumVec, before.Vectors)
+	}
+	p.terminate(t)
+
+	// Second life: no -shards flag — the MANIFEST pins the count.
+	p2 := startServer(t, bin, "-snapshot-dir", snapDir, "-fix-batch", "16")
+	after := p2.stats(t)
+	if after.Shards != 2 {
+		t.Fatalf("restart did not honor the manifest: %d shards", after.Shards)
+	}
+	if after.Vectors != before.Vectors || after.Live != before.Live {
+		t.Fatalf("vector counts differ across restart: %d/%d -> %d/%d",
+			before.Vectors, before.Live, after.Vectors, after.Live)
+	}
+	if after.ExtraEdges != before.ExtraEdges {
+		t.Fatalf("learned fix edges lost across restart: %d -> %d", before.ExtraEdges, after.ExtraEdges)
+	}
+	var sr server.SearchResponse
+	p2.post(t, "/v1/search", server.SearchRequest{Vector: d.TestOOD.Row(0), K: server.IntPtr(1), EF: server.IntPtr(30)}, &sr)
+	if len(sr.Results) == 0 || sr.Results[0].ID != ins.ID {
+		t.Fatalf("recovered sharded index lost the inserted vector: %+v", sr.Results)
+	}
+	p2.terminate(t)
+
+	// A conflicting explicit flag is rejected instead of silently
+	// rerouting every id.
+	port := freePort(t)
+	out, err := exec.Command(bin, "-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-snapshot-dir", snapDir, "-shards", "3").CombinedOutput()
+	if err == nil {
+		t.Fatalf("server started with -shards 3 against a 2-shard directory; output:\n%s", out)
+	}
 }
 
 // TestOverloadFlags wires the admission flags end to end: the configured

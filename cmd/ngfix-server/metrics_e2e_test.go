@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ngfix/internal/dataset"
@@ -83,7 +84,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 		{"ngfix_fix_queries_total", float64(fr.Queries)},
 		{"ngfix_wal_append_seconds_count", 2}, // insert + fix batch
 		{"ngfix_wal_snapshot_seconds_count", 1},
-		{"ngfix_admission_admitted_total", searches + 2},
+		{`ngfix_admission_admitted_total{shard="all"}`, searches + 2},
 		{"ngfix_vectors", 401},
 		{"go_goroutines", 1},
 	}
@@ -95,6 +96,14 @@ func TestMetricsEndToEnd(t *testing.T) {
 		}
 		if got < c.min {
 			t.Errorf("%s = %v, want >= %v", c.key, got, c.min)
+		}
+	}
+
+	// At -shards 1 the exposition stays byte-compatible with pre-sharding
+	// dashboards: fixer and store families carry no shard label.
+	for _, key := range []string{"ngfix_fix_batches_total", "ngfix_vectors", "ngfix_wal_snapshot_seconds_count"} {
+		if _, ok := samples[key]; !ok {
+			t.Errorf("single-shard exposition lost unlabeled family %s", key)
 		}
 	}
 
@@ -122,4 +131,90 @@ func TestMetricsEndToEnd(t *testing.T) {
 		}
 	}
 	p2.terminate(t)
+}
+
+// TestMetricsShardLabels is the sharded-telemetry gate: at -shards 2
+// every core (fixer), persist (WAL/store), and admission family on
+// /metrics must name its shard. HTTP-layer and process families are the
+// only exemptions — they describe the whole process, not a shard.
+func TestMetricsShardLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the server binary")
+	}
+	work := t.TempDir()
+	bin := buildServerBinary(t, work)
+
+	d := dataset.Generate(dataset.Config{
+		Name: "obs-shard", N: 400, NHist: 60, NTest: 10,
+		Dim: 8, Clusters: 5, Metric: vec.L2,
+		GapMagnitude: 1.5, ClusterStd: 0.2, QueryStdScale: 1.5, Seed: 13,
+	})
+	g := hnsw.Build(d.Base, hnsw.Config{M: 8, EFConstruction: 60, Metric: vec.L2, Seed: 1}).Bottom()
+	idx := filepath.Join(work, "base.ngig")
+	if err := g.Save(idx); err != nil {
+		t.Fatal(err)
+	}
+
+	p := startServer(t, bin, "-index", idx,
+		"-snapshot-dir", filepath.Join(work, "state"),
+		"-shards", "2", "-fix-batch", "16")
+	for qi := 0; qi < 4; qi++ {
+		var sr server.SearchResponse
+		p.post(t, "/v1/search", server.SearchRequest{Vector: d.History.Row(qi), K: server.IntPtr(5), EF: server.IntPtr(20)}, &sr)
+	}
+	var ir server.InsertResponse
+	p.post(t, "/v1/insert", server.InsertRequest{Vector: d.History.Row(0)}, &ir)
+	var fr server.FixResponse
+	p.post(t, "/v1/fix", struct{}{}, &fr)
+
+	resp, err := http.Get(p.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+
+	// Families allowed to omit the shard label: whole-process telemetry.
+	processWide := []string{
+		"ngfix_search_duration_seconds",
+		"ngfix_slow_queries_total",
+		"go_", "process_",
+	}
+	shardless := func(key string) bool {
+		for _, p := range processWide {
+			if strings.HasPrefix(key, p) {
+				return true
+			}
+		}
+		return false
+	}
+	for key := range samples {
+		if shardless(key) {
+			continue
+		}
+		if !strings.Contains(key, `shard="`) {
+			t.Errorf("family without shard label at -shards 2: %s", key)
+		}
+	}
+
+	// Both shards and the shared limiter are individually visible.
+	for _, key := range []string{
+		`ngfix_vectors{shard="0"}`,
+		`ngfix_vectors{shard="1"}`,
+		`ngfix_wal_snapshot_seconds_count{shard="0"}`,
+		`ngfix_wal_snapshot_seconds_count{shard="1"}`,
+		`ngfix_admission_admitted_total{shard="all"}`,
+	} {
+		if _, ok := samples[key]; !ok {
+			t.Errorf("missing %s in sharded exposition", key)
+		}
+	}
+	p.terminate(t)
 }

@@ -95,10 +95,36 @@ func New(cfg Config) *Controller {
 // ceil(ef/CostUnitEF), at least 1. Mutations and other fixed-work
 // requests should use cost 1.
 func (c *Controller) SearchCost(ef int) int {
-	if ef <= c.cfg.CostUnitEF {
-		return 1
+	return c.SearchCostN(ef, 1)
+}
+
+// SearchCostN is the scatter-gather cost model: a search fanned out to
+// `shards` shards runs one beam of size ef per shard, so it pays
+// ceil(shards·ef/CostUnitEF) units, at least 1. With one shard this is
+// exactly SearchCost. The granted units double as the request's fan-out
+// slot budget: each unit funds roughly one concurrent per-shard beam.
+func (c *Controller) SearchCostN(ef, shards int) int {
+	if shards < 1 {
+		shards = 1
 	}
-	return (ef + c.cfg.CostUnitEF - 1) / c.cfg.CostUnitEF
+	cost := (shards*ef + c.cfg.CostUnitEF - 1) / c.cfg.CostUnitEF
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
+}
+
+// MaxEF returns the largest ef whose scatter cost across `shards` shards
+// still fits the controller's total capacity — the hard budget clamp the
+// server applies before the pressure policy: Capacity·CostUnitEF/shards.
+// A request above it could never be admitted un-clamped (Acquire would
+// silently cap its cost while the index did the full work), so the
+// server shrinks ef instead and reports the clamp to the client.
+func (c *Controller) MaxEF(shards int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	return c.cfg.Capacity * c.cfg.CostUnitEF / shards
 }
 
 // Acquire admits a request of the given cost, waiting in FIFO order

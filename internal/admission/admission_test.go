@@ -436,3 +436,38 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached in time")
 }
+
+func TestSearchCostNAndMaxEF(t *testing.T) {
+	c := New(Config{Capacity: 64, CostUnitEF: 100})
+	cases := []struct {
+		ef, shards, want int
+	}{
+		{100, 1, 1}, // one standard beam
+		{250, 1, 3}, // SearchCost compatibility
+		{100, 4, 4}, // four full beams
+		{20, 4, 1},  // small scatter still rounds to one unit
+		{150, 4, 6}, // ceil(600/100)
+		{10, 0, 1},  // degenerate shard count clamps to 1
+	}
+	for _, tc := range cases {
+		if got := c.SearchCostN(tc.ef, tc.shards); got != tc.want {
+			t.Errorf("SearchCostN(%d, %d) = %d, want %d", tc.ef, tc.shards, got, tc.want)
+		}
+	}
+	// SearchCost and SearchCostN(·, 1) must always agree.
+	for _, ef := range []int{1, 50, 100, 101, 999} {
+		if c.SearchCost(ef) != c.SearchCostN(ef, 1) {
+			t.Errorf("SearchCost(%d) != SearchCostN(%d, 1)", ef, ef)
+		}
+	}
+	if got := c.MaxEF(1); got != 6400 {
+		t.Errorf("MaxEF(1) = %d, want 6400", got)
+	}
+	if got := c.MaxEF(4); got != 1600 {
+		t.Errorf("MaxEF(4) = %d, want 1600", got)
+	}
+	// An ef at MaxEF exactly fills capacity; one unit over would not fit.
+	if cost := c.SearchCostN(c.MaxEF(4), 4); cost != 64 {
+		t.Errorf("cost at MaxEF(4) = %d, want capacity 64", cost)
+	}
+}

@@ -123,9 +123,9 @@ func TestExpositionRoundTrip(t *testing.T) {
 	}
 	checks := map[string]float64{
 		`rt_requests_total{path="with\"quote\nand newline\\"}`: 7,
-		"rt_queue_depth":  3,
-		"rt_pressure":     0.25,
-		"rt_shed_total":   12,
+		"rt_queue_depth": 3,
+		"rt_pressure":    0.25,
+		"rt_shed_total":  12,
 		`rt_latency_seconds_bucket{le="+Inf",outcome="ok"}`: 3,
 		`rt_latency_seconds_count{outcome="ok"}`:            3,
 	}
@@ -274,7 +274,7 @@ func TestSlowQueryLogThreshold(t *testing.T) {
 		t.Fatal("below-threshold query logged")
 	}
 	slow := SlowQuery{ID: l.NextID(), K: 10, EF: 100, EFUsed: 80, NDC: 1234, Hops: 57,
-		Truncated: false, Clamped: true, Duration: 12345 * time.Microsecond}
+		Truncated: false, Clamped: true, ClampedBy: ClampAdmission, Duration: 12345 * time.Microsecond}
 	if !l.Observe(slow) {
 		t.Fatal("threshold-crossing query not logged")
 	}
@@ -285,9 +285,35 @@ func TestSlowQueryLogThreshold(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("lines = %v", lines)
 	}
-	want := "slow-query id=2 k=10 ef=100 efUsed=80 ndc=1234 hops=57 truncated=false clamped=true durMs=12.345"
+	want := "slow-query id=2 k=10 ef=100 efUsed=80 ef_clamped_by=admission ndc=1234 hops=57 truncated=false clamped=true durMs=12.345"
 	if lines[0] != want {
 		t.Fatalf("line format drifted:\n got %q\nwant %q", lines[0], want)
+	}
+	// The line parses as logfmt: every token after the tag is key=value,
+	// and the policy attribution keys are present with the right values.
+	fields := map[string]string{}
+	for _, tok := range strings.Fields(lines[0])[1:] {
+		kv := strings.SplitN(tok, "=", 2)
+		if len(kv) != 2 {
+			t.Fatalf("token %q is not key=value", tok)
+		}
+		fields[kv[0]] = kv[1]
+	}
+	if fields["ef_clamped_by"] != ClampAdmission {
+		t.Fatalf("ef_clamped_by = %q, want %q", fields["ef_clamped_by"], ClampAdmission)
+	}
+	if fields["efUsed"] != "80" {
+		t.Fatalf("efUsed = %q, want 80", fields["efUsed"])
+	}
+	// An unset ClampedBy renders as the explicit "none", never empty (an
+	// empty value would break naive logfmt splitting downstream).
+	var rendered []string
+	l2 := &SlowQueryLog{Threshold: time.Millisecond, Logf: func(f string, a ...interface{}) {
+		rendered = append(rendered, fmt.Sprintf(f, a...))
+	}}
+	l2.Observe(SlowQuery{ID: 1, Duration: time.Second})
+	if len(rendered) != 1 || !strings.Contains(rendered[0], "ef_clamped_by=none") {
+		t.Fatalf("unset ClampedBy line: %v", rendered)
 	}
 	// Disabled configurations never log and never panic.
 	var nilLog *SlowQueryLog
@@ -315,5 +341,77 @@ func TestRegisterProcessMetrics(t *testing.T) {
 	}
 	if samples["go_memstats_heap_inuse_bytes"] <= 0 {
 		t.Fatalf("heap gauge = %v", samples["go_memstats_heap_inuse_bytes"])
+	}
+}
+
+func TestConstLabeledRegistryAndMerge(t *testing.T) {
+	// Two per-shard registries plus an unlabeled one, all registering the
+	// same family names — the sharded server's exposition shape.
+	global := NewRegistry()
+	global.Counter("t_requests_total", "Requests.")
+	shards := []*Registry{
+		NewRegistry(Label{Name: "shard", Value: "0"}),
+		NewRegistry(Label{Name: "shard", Value: "1"}),
+	}
+	for i, r := range shards {
+		r.Counter("t_fix_total", "Fixes.").Add(uint64(i + 1))
+		r.Histogram("t_lat_seconds", "Latency.", []float64{1}).Observe(0.5)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMergedText(&buf, global, shards[0], shards[1]); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Each family header appears exactly once even though two registries
+	// contribute series.
+	if got := strings.Count(out, "# TYPE t_fix_total counter"); got != 1 {
+		t.Fatalf("TYPE t_fix_total count = %d in:\n%s", got, out)
+	}
+	if got := strings.Count(out, "# TYPE t_lat_seconds histogram"); got != 1 {
+		t.Fatalf("TYPE t_lat_seconds count = %d in:\n%s", got, out)
+	}
+	samples, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("merged exposition invalid: %v\n%s", err, out)
+	}
+	if samples[`t_fix_total{shard="0"}`] != 1 || samples[`t_fix_total{shard="1"}`] != 2 {
+		t.Fatalf("shard-labeled counters wrong: %v", samples)
+	}
+	if samples[`t_lat_seconds_count{shard="1"}`] != 1 {
+		t.Fatalf("shard-labeled histogram missing: %v", samples)
+	}
+	if _, ok := samples["t_requests_total"]; !ok {
+		t.Fatalf("unlabeled family lost in merge: %v", samples)
+	}
+
+	// Const labels combine with per-series labels.
+	r := NewRegistry(Label{Name: "shard", Value: "7"})
+	r.Counter("t_kinds_total", "By kind.", Label{Name: "kind", Value: "a"}).Inc()
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `t_kinds_total{kind="a",shard="7"} 1`) {
+		t.Fatalf("const+series labels not combined: %s", buf.String())
+	}
+
+	// Type conflicts across registries surface as an error, not silence.
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("t_conflict", "")
+	b.Gauge("t_conflict", "")
+	if err := WriteMergedText(&bytes.Buffer{}, a, b); err == nil {
+		t.Fatal("type conflict across registries not detected")
+	}
+
+	// MergedHandler serves the same content with the exposition type.
+	h := MergedHandler(global, shards[0], shards[1])
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, nil)
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `t_fix_total{shard="1"} 2`) {
+		t.Fatalf("handler body:\n%s", rec.Body.String())
 	}
 }

@@ -23,8 +23,15 @@ type Label struct {
 // programmer error — invalid names, duplicate series, or re-registering a
 // name under a different type — and are meant for startup; Observe/Inc on
 // the returned handles are the hot-path operations.
+//
+// A registry may carry constant labels (NewRegistry arguments) stamped on
+// every series registered through it. That is the per-shard story: each
+// shard's subsystems register their families on a registry constructed
+// with {shard="<i>"}, and WriteMergedText folds the registries into one
+// exposition where every family appears once with one series per shard.
 type Registry struct {
 	mu     sync.Mutex
+	consts []Label
 	fams   []*family
 	byName map[string]*family
 }
@@ -45,9 +52,18 @@ type series struct {
 	gaugeFn   func() float64
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*family)}
+// NewRegistry returns an empty registry. Any constLabels are attached to
+// every series subsequently registered — the mechanism behind per-shard
+// registries, where the same family names carry shard="0", shard="1", …
+// across sibling registries. Invalid label names panic, like every other
+// registration-time programmer error.
+func NewRegistry(constLabels ...Label) *Registry {
+	for _, l := range constLabels {
+		if !validLabelName(l.Name) {
+			panic("obs: invalid constant label name " + strconv.Quote(l.Name))
+		}
+	}
+	return &Registry{byName: make(map[string]*family), consts: constLabels}
 }
 
 // Counter registers (or extends) a counter family and returns the series'
@@ -96,6 +112,9 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 func (r *Registry) add(name, help, typ string, s *series) {
 	if !validMetricName(name) {
 		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	if len(r.consts) > 0 {
+		s.labels = append(append([]Label(nil), r.consts...), s.labels...)
 	}
 	for _, l := range s.labels {
 		if !validLabelName(l.Name) {
@@ -175,6 +194,69 @@ func writeSeries(w *bufio.Writer, f *family, s *series) {
 		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, lbl, formatFloat(sum))
 		fmt.Fprintf(w, "%s_count%s %s\n", f.name, lbl, strconv.FormatUint(count, 10))
 	}
+}
+
+// WriteMergedText writes the union of several registries as one valid
+// exposition: families with the same name across registries are folded
+// under a single # HELP/# TYPE header (first registration order, first
+// non-empty help), with every registry's series listed beneath it. This
+// is how the sharded server exposes N per-shard registries plus the
+// process-wide one at a single /metrics without repeating TYPE lines,
+// which the strict parser — and a real Prometheus — would reject.
+//
+// Folding families registered under different types is a programmer
+// error and returns an error naming the family.
+func WriteMergedText(w io.Writer, regs ...*Registry) error {
+	type merged struct {
+		name, help, typ string
+		series          []*series
+	}
+	var fams []*merged
+	byName := make(map[string]*merged)
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		for _, f := range r.fams {
+			m := byName[f.name]
+			if m == nil {
+				m = &merged{name: f.name, help: f.help, typ: f.typ}
+				byName[f.name] = m
+				fams = append(fams, m)
+			}
+			if m.typ != f.typ {
+				r.mu.Unlock()
+				return fmt.Errorf("obs: family %s registered as %s in one registry, %s in another", f.name, m.typ, f.typ)
+			}
+			if m.help == "" {
+				m.help = f.help
+			}
+			m.series = append(m.series, f.series...)
+		}
+		r.mu.Unlock()
+	}
+	bw := bufio.NewWriter(w)
+	for _, m := range fams {
+		f := &family{name: m.name, help: m.help, typ: m.typ}
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range m.series {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// MergedHandler serves WriteMergedText over the given registries — the
+// sharded /metrics endpoint.
+func MergedHandler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = WriteMergedText(w, regs...) // headers are on the wire already
+	})
 }
 
 // ContentType is the Prometheus text exposition content type ServeHTTP

@@ -13,13 +13,25 @@ type SlowQuery struct {
 	ID        uint64 // server-assigned monotone search sequence number
 	K         int
 	EF        int // requested (or defaulted) search-list size
-	EFUsed    int // after pressure clamping
+	EFUsed    int // effective ef actually searched, after any clamping
 	NDC       int64
 	Hops      int
 	Truncated bool
 	Clamped   bool
+	// ClampedBy names the policy that shaped the query's ef —
+	// "admission" (pressure-driven degradation), "budget" (scatter cost
+	// capped to fit the admission capacity), or "none" — so slow queries
+	// can be attributed to policy decisions, not just observed.
+	ClampedBy string
 	Duration  time.Duration
 }
+
+// Clamp policy names for SlowQuery.ClampedBy.
+const (
+	ClampNone      = "none"
+	ClampAdmission = "admission"
+	ClampBudget    = "budget"
+)
 
 // SlowQueryLog emits a structured logfmt line for every search at or over
 // Threshold. A nil log, a zero threshold, or a nil Logf never emits —
@@ -27,7 +39,7 @@ type SlowQuery struct {
 //
 // Line format (one line, stable key order, parseable as logfmt):
 //
-//	slow-query id=42 k=10 ef=100 efUsed=80 ndc=1234 hops=57 truncated=false clamped=true durMs=12.345
+//	slow-query id=42 k=10 ef=100 efUsed=80 ef_clamped_by=admission ndc=1234 hops=57 truncated=false clamped=true durMs=12.345
 type SlowQueryLog struct {
 	// Threshold gates emission: only queries with Duration >= Threshold
 	// are logged. <= 0 disables the log.
@@ -55,8 +67,12 @@ func (l *SlowQueryLog) Observe(q SlowQuery) bool {
 		return false
 	}
 	if l.Logf != nil {
-		l.Logf("slow-query id=%d k=%d ef=%d efUsed=%d ndc=%d hops=%d truncated=%t clamped=%t durMs=%.3f",
-			q.ID, q.K, q.EF, q.EFUsed, q.NDC, q.Hops, q.Truncated, q.Clamped,
+		by := q.ClampedBy
+		if by == "" {
+			by = ClampNone
+		}
+		l.Logf("slow-query id=%d k=%d ef=%d efUsed=%d ef_clamped_by=%s ndc=%d hops=%d truncated=%t clamped=%t durMs=%.3f",
+			q.ID, q.K, q.EF, q.EFUsed, by, q.NDC, q.Hops, q.Truncated, q.Clamped,
 			float64(q.Duration)/float64(time.Millisecond))
 	}
 	return true

@@ -1,0 +1,183 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+)
+
+// ManifestName is the file at the root of a sharded snapshot directory
+// recording the shard count. A single-shard directory deliberately has no
+// manifest: its layout is byte-identical to the pre-sharding store, so a
+// pre-refactor directory recovers unchanged and a directory written today
+// at one shard recovers under the old binary.
+const ManifestName = "MANIFEST"
+
+// Manifest describes a sharded snapshot directory. The shard count is
+// fixed at build time: routing is a stable function of the vector id and
+// the count, so changing it would strand every previously assigned id.
+type Manifest struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// ShardDir returns the directory shard i of a sharded store lives in:
+// <root>/shard-<i>. Single-shard stores use the root directly (see
+// OpenSharded).
+func ShardDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%d", i))
+}
+
+// ReadManifest loads the manifest from root. ok is false when no manifest
+// exists — a legacy single-shard or fresh directory, which the caller
+// disambiguates by probing for snapshots. A nil fsys uses the real
+// filesystem.
+func ReadManifest(fsys FS, root string) (m Manifest, ok bool, err error) {
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	rc, err := fsys.Open(filepath.Join(root, ManifestName))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return Manifest{}, false, nil
+		}
+		return Manifest{}, false, fmt.Errorf("persist: open manifest: %w", err)
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		return Manifest{}, false, fmt.Errorf("persist: read manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("persist: decode manifest: %w", err)
+	}
+	if m.Shards < 1 {
+		return Manifest{}, false, fmt.Errorf("persist: manifest declares %d shards", m.Shards)
+	}
+	return m, true, nil
+}
+
+// WriteManifest atomically publishes m at root (tmp file, fsync, rename,
+// directory sync — the same durability discipline as a snapshot). It is
+// written once, when a multi-shard directory is first created.
+func WriteManifest(fsys FS, root string, m Manifest) error {
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	if m.Shards < 1 {
+		return fmt.Errorf("persist: manifest must declare at least 1 shard, got %d", m.Shards)
+	}
+	if m.Version == 0 {
+		m.Version = 1
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("persist: encode manifest: %w", err)
+	}
+	if err := fsys.MkdirAll(root); err != nil {
+		return fmt.Errorf("persist: create dir: %w", err)
+	}
+	path := filepath.Join(root, ManifestName)
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("persist: create manifest: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("persist: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("persist: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("persist: close manifest: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("persist: publish manifest: %w", err)
+	}
+	return fsys.SyncDir(root)
+}
+
+// OpenSharded opens (or lays out) the stores for an n-shard index under
+// root. One shard uses root itself — byte-compatible with the
+// pre-sharding layout, so existing directories recover unchanged — while
+// n > 1 opens shard-<i> subdirectories, each an independent Store with
+// its own snapshot generations and op log. Shards therefore fail, stall,
+// and snapshot independently; recovery tolerates them sitting at
+// different generations.
+//
+// OpenSharded does not read or write the manifest: the caller resolves
+// the shard count first (ResolveShards) so flag/manifest conflicts are
+// reported before any directory is touched.
+func OpenSharded(root string, n int, opts Options) ([]*Store, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("persist: shard count %d", n)
+	}
+	if n == 1 {
+		st, err := Open(root, opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*Store{st}, nil
+	}
+	stores := make([]*Store, n)
+	for i := range stores {
+		st, err := Open(ShardDir(root, i), opts)
+		if err != nil {
+			return nil, fmt.Errorf("persist: open shard %d: %w", i, err)
+		}
+		stores[i] = st
+	}
+	return stores, nil
+}
+
+// ResolveShards decides the effective shard count for root given the
+// -shards flag: a manifest pins the count (a conflicting explicit flag is
+// an error — the count is fixed at build time); a manifest-less directory
+// with state is a legacy single-shard store (an explicit -shards > 1 over
+// it is an error); a fresh directory takes the flag and, above one shard,
+// gets a manifest written before any shard directory exists.
+//
+// flagSet distinguishes "operator typed -shards" from the default, so a
+// bare restart of a 4-shard server needs no flags.
+func ResolveShards(fsys FS, root string, flagShards int, flagSet bool) (int, error) {
+	if flagShards < 1 {
+		return 0, fmt.Errorf("persist: -shards must be at least 1, got %d", flagShards)
+	}
+	m, ok, err := ReadManifest(fsys, root)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		if flagSet && flagShards != m.Shards {
+			return 0, fmt.Errorf("persist: %s was built with %d shards; -shards %d cannot change that (routing is a function of the shard count)", root, m.Shards, flagShards)
+		}
+		return m.Shards, nil
+	}
+	// No manifest: probe for legacy single-shard state at the root.
+	probe, err := Open(root, Options{FS: fsys})
+	if err != nil {
+		return 0, err
+	}
+	if probe.HasState() {
+		if flagSet && flagShards != 1 {
+			return 0, fmt.Errorf("persist: %s holds single-shard state; it cannot be re-sharded to %d (rebuild into a fresh directory)", root, flagShards)
+		}
+		return 1, nil
+	}
+	if flagShards > 1 {
+		if err := WriteManifest(fsys, root, Manifest{Shards: flagShards}); err != nil {
+			return 0, err
+		}
+	}
+	return flagShards, nil
+}

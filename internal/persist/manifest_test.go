@@ -1,0 +1,152 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+func tinyGraph(t *testing.T, rows int) *graph.Graph {
+	t.Helper()
+	m := vec.NewMatrix(0, 4)
+	for i := 0; i < rows; i++ {
+		m.Append([]float32{float32(i), 1, 2, 3})
+	}
+	g := graph.New(m, vec.L2)
+	for i := 1; i < rows; i++ {
+		g.AddBaseEdge(uint32(i-1), uint32(i))
+		g.AddBaseEdge(uint32(i), uint32(i-1))
+	}
+	return g
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadManifest(nil, dir); err != nil || ok {
+		t.Fatalf("fresh dir: ok=%v err=%v", ok, err)
+	}
+	if err := WriteManifest(nil, dir, Manifest{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := ReadManifest(nil, dir)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if m.Shards != 4 || m.Version != 1 {
+		t.Fatalf("manifest %+v", m)
+	}
+	// Garbage manifests are an error, not a silent single-shard fallback.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadManifest(nil, dir); err == nil {
+		t.Fatal("corrupt manifest read without error")
+	}
+}
+
+func TestResolveShards(t *testing.T) {
+	// Fresh dir + explicit -shards 4: manifest written, count honored.
+	dir := t.TempDir()
+	n, err := ResolveShards(nil, dir, 4, true)
+	if err != nil || n != 4 {
+		t.Fatalf("fresh: n=%d err=%v", n, err)
+	}
+	// Restart without the flag: manifest pins the count.
+	n, err = ResolveShards(nil, dir, 1, false)
+	if err != nil || n != 4 {
+		t.Fatalf("restart: n=%d err=%v", n, err)
+	}
+	// Conflicting explicit flag is refused.
+	if _, err := ResolveShards(nil, dir, 2, true); err == nil {
+		t.Fatal("shard-count change accepted")
+	}
+
+	// Legacy dir (snapshots at the root, no manifest) resolves to 1 and
+	// refuses explicit re-sharding.
+	legacy := t.TempDir()
+	st, err := Open(legacy, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Snapshot(tinyGraph(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	n, err = ResolveShards(nil, legacy, 1, false)
+	if err != nil || n != 1 {
+		t.Fatalf("legacy: n=%d err=%v", n, err)
+	}
+	if _, err := ResolveShards(nil, legacy, 4, true); err == nil {
+		t.Fatal("re-sharding a legacy dir accepted")
+	}
+	// Resolving must not have added a manifest: the single-shard layout
+	// stays byte-compatible with the pre-sharding store.
+	if _, err := os.Stat(filepath.Join(legacy, ManifestName)); !os.IsNotExist(err) {
+		t.Fatalf("manifest appeared in a single-shard dir: %v", err)
+	}
+}
+
+func TestOpenShardedLayout(t *testing.T) {
+	root := t.TempDir()
+	stores, err := OpenSharded(root, 3, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stores) != 3 {
+		t.Fatalf("stores = %d", len(stores))
+	}
+	for i, st := range stores {
+		want := ShardDir(root, i)
+		if st.Dir() != want {
+			t.Fatalf("shard %d dir %q, want %q", i, st.Dir(), want)
+		}
+		if err := st.Snapshot(tinyGraph(t, 2+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shards advance generations independently: bump shard 1 twice and
+	// reopen — every shard recovers its own newest snapshot.
+	if err := stores[1].Snapshot(tinyGraph(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stores {
+		st.Close()
+	}
+	re, err := OpenSharded(root, 3, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0, g1 := re[0].Generation(), re[1].Generation(); g1 != g0+1 {
+		t.Fatalf("generations not independent: shard0=%d shard1=%d", g0, g1)
+	}
+	g, err := re[1].Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 {
+		t.Fatalf("shard 1 recovered %d vectors, want 5", g.Len())
+	}
+
+	// One shard uses the root itself: no subdirectories, no manifest.
+	single := t.TempDir()
+	ss, err := OpenSharded(single, 1, Options{NoSync: true})
+	if err != nil || len(ss) != 1 {
+		t.Fatalf("single: %v", err)
+	}
+	if ss[0].Dir() != single {
+		t.Fatalf("single-shard dir %q, want root %q", ss[0].Dir(), single)
+	}
+	entries, err := os.ReadDir(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "shard-") || e.Name() == ManifestName {
+			t.Fatalf("single-shard layout polluted with %s", e.Name())
+		}
+	}
+}

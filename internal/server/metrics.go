@@ -27,8 +27,16 @@ type serverMetrics struct {
 
 // EnableMetrics registers the server's families with reg, wires the
 // admission controller's metrics when one is configured, and makes
-// GET /metrics serve the registry. Call once, before serving traffic.
-func (s *Server) EnableMetrics(reg *obs.Registry) {
+// GET /metrics serve the merged exposition of reg plus any per-shard
+// registries. Call once, before serving traffic.
+//
+// Label scheme: HTTP-layer and process families live unlabeled on reg;
+// each shard's fixer and store families live on its own registry
+// carrying a shard="<i>" const label (the caller builds those and
+// passes them here); the admission controller — one limiter guarding
+// all shards — registers under shard="all" so the e2e label gate can
+// assert every core/persist/admission family names its shard.
+func (s *Server) EnableMetrics(reg *obs.Registry, shardRegs ...*obs.Registry) {
 	m := &serverMetrics{searchSeconds: make(map[string]*obs.Histogram)}
 	for _, outcome := range []string{outcomeOK, outcomeTruncated, outcomeClamped, outcomeShed} {
 		m.searchSeconds[outcome] = reg.Histogram("ngfix_search_duration_seconds",
@@ -37,22 +45,25 @@ func (s *Server) EnableMetrics(reg *obs.Registry) {
 	}
 	m.slowQueries = reg.Counter("ngfix_slow_queries_total",
 		"Searches at or over the slow-query threshold.")
+	regs := append([]*obs.Registry{reg}, shardRegs...)
 	if s.Admission != nil {
-		s.Admission.RegisterMetrics(reg)
+		admReg := obs.NewRegistry(obs.Label{Name: "shard", Value: "all"})
+		s.Admission.RegisterMetrics(admReg)
+		regs = append(regs, admReg)
 	}
 	s.metrics = m
-	s.metricsReg = reg
+	s.metricsRegs = regs
 }
 
 // handleMetrics serves the Prometheus exposition, or 404 when metrics
 // were not enabled (the route exists either way, so probes get a clean
 // answer instead of the mux's default).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if s.metricsReg == nil {
+	if len(s.metricsRegs) == 0 {
 		http.Error(w, "metrics not enabled", http.StatusNotFound)
 		return
 	}
-	s.metricsReg.ServeHTTP(w, r)
+	obs.MergedHandler(s.metricsRegs...).ServeHTTP(w, r)
 }
 
 // observeSearch records one search's latency under its outcome. Nil-safe:

@@ -171,11 +171,12 @@ func TestMetricsEndpoint(t *testing.T) {
 	if got := samples["ngfix_wal_snapshot_seconds_count"]; got != 1 {
 		t.Fatalf("wal snapshot count = %v, want 1", got)
 	}
-	// Admission family: every request above was admitted and served.
-	if got := samples["ngfix_admission_admitted_total"]; got < searches+2 {
+	// Admission family: every request above was admitted and served. One
+	// limiter guards all shards, so its families carry shard="all".
+	if got := samples[`ngfix_admission_admitted_total{shard="all"}`]; got < searches+2 {
 		t.Fatalf("admitted = %v, want >= %d", got, searches+2)
 	}
-	if got := samples["ngfix_admission_shed_total"]; got != 0 {
+	if got := samples[`ngfix_admission_shed_total{shard="all"}`]; got != 0 {
 		t.Fatalf("shed = %v, want 0", got)
 	}
 	// Process family.

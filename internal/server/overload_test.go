@@ -410,9 +410,11 @@ func TestPressureClampsEF(t *testing.T) {
 	}
 	waitForCond(t, "pressure past threshold", func() bool { return s.Admission.Pressure() >= 0.75 })
 
-	// Under pressure 0.75 a big-ef search gets clamped at the door:
-	// ef = 400 - 0.5*(400-16) = 208. The clamp also shrinks its cost, so
-	// it still fits the queue's last slot and survives to completion.
+	// Under pressure 0.75 a big-ef search gets clamped twice at the
+	// door: the admission budget first (ef 400 could never fit capacity
+	// 2 honestly, so it shrinks to MaxEF = 200), then the pressure
+	// policy: ef = 200 - 0.5*(200-16) = 108. The clamps also shrink its
+	// cost, so it still fits the queue's last slot and survives.
 	probeDone := make(chan SearchResponse, 1)
 	go func() {
 		var sr SearchResponse
@@ -434,21 +436,30 @@ func TestPressureClampsEF(t *testing.T) {
 	if sr.EFUsed < 0 {
 		t.Fatalf("pressured probe failed with status %d", -sr.EFUsed)
 	}
-	if !sr.Clamped || sr.EFUsed != 208 {
-		t.Fatalf("pressured probe: clamped=%v efUsed=%d, want clamped ef 208", sr.Clamped, sr.EFUsed)
+	if !sr.Clamped || sr.EFUsed != 108 {
+		t.Fatalf("pressured probe: clamped=%v efUsed=%d, want clamped ef 108", sr.Clamped, sr.EFUsed)
 	}
 	waitForCond(t, "admission to drain", func() bool { return s.Admission.Stats().InUse == 0 })
 	if st := getStats(t, ts.URL); st.ClampedSearches != 1 {
 		t.Fatalf("ClampedSearches = %d, want 1", st.ClampedSearches)
 	}
 
-	// Pressure gone: the same request runs unclamped at its full ef.
+	// Pressure gone: the pressure clamp releases, but the budget clamp
+	// still holds ef to what the capacity can honestly admit.
 	var full SearchResponse
 	if resp := post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.TestOOD.Row(1), K: IntPtr(5), EF: IntPtr(400)}, &full); resp.StatusCode != http.StatusOK {
 		t.Fatalf("idle big-ef search: status %d", resp.StatusCode)
 	}
-	if full.Clamped || full.EFUsed != 400 {
-		t.Fatalf("idle search clamped: %+v", full)
+	if !full.Clamped || full.EFUsed != 200 {
+		t.Fatalf("idle search: clamped=%v efUsed=%d, want budget-clamped ef 200", full.Clamped, full.EFUsed)
+	}
+	// A request inside the budget runs unclamped now that pressure is gone.
+	var inBudget SearchResponse
+	if resp := post(t, ts.URL+"/v1/search", SearchRequest{Vector: d.TestOOD.Row(1), K: IntPtr(5), EF: IntPtr(150)}, &inBudget); resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-budget search: status %d", resp.StatusCode)
+	}
+	if inBudget.Clamped || inBudget.EFUsed != 150 {
+		t.Fatalf("in-budget search clamped: %+v", inBudget)
 	}
 }
 

@@ -57,6 +57,7 @@ import (
 	"ngfix/internal/admission"
 	"ngfix/internal/core"
 	"ngfix/internal/obs"
+	"ngfix/internal/shard"
 )
 
 // DefaultMaxBodyBytes caps request bodies when Server.MaxBodyBytes is
@@ -71,9 +72,12 @@ const (
 	maintenanceCost = 4
 )
 
-// Server wires an OnlineFixer to an http.Handler.
+// Server wires a shard group (one or many online fixers) to an
+// http.Handler. Searches scatter to every shard and gather a global
+// top-k; mutations route to the owning shard; /v1/stats reports both
+// the aggregate and the per-shard breakdown.
 type Server struct {
-	fixer *core.OnlineFixer
+	group *shard.Group
 	mux   *http.ServeMux
 	// DefaultK / DefaultEF apply when a search request omits them.
 	DefaultK, DefaultEF int
@@ -106,17 +110,25 @@ type Server struct {
 	truncated atomic.Int64
 	clamped   atomic.Int64
 
-	// metrics/metricsReg are set once by EnableMetrics before serving;
-	// nil means uninstrumented (observers are nil-safe).
-	metrics    *serverMetrics
-	metricsReg *obs.Registry
+	// metrics/metricsRegs are set once by EnableMetrics before serving;
+	// nil means uninstrumented (observers are nil-safe). /metrics serves
+	// the merged exposition of every registry: the server's own, one per
+	// shard (const-labeled shard="<i>"), and admission's (shard="all").
+	metrics     *serverMetrics
+	metricsRegs []*obs.Registry
 }
 
-// New builds a Server around an online fixer. The server starts not
-// ready: call SetReady(true) once the index is loaded/replayed and the
-// listener is up, so /readyz tells load balancers the truth.
+// New builds a Server around a single online fixer — the unsharded
+// deployment, identical to NewSharded(shard.Single(fixer)).
 func New(fixer *core.OnlineFixer) *Server {
-	s := &Server{fixer: fixer, mux: http.NewServeMux(), DefaultK: 10, DefaultEF: 100}
+	return NewSharded(shard.Single(fixer))
+}
+
+// NewSharded builds a Server around a shard group. The server starts
+// not ready: call SetReady(true) once every shard is loaded/replayed
+// and the listener is up, so /readyz tells load balancers the truth.
+func NewSharded(group *shard.Group) *Server {
+	s := &Server{group: group, mux: http.NewServeMux(), DefaultK: 10, DefaultEF: 100}
 	// Search governs itself (its admission cost depends on the decoded
 	// ef); fixed-work endpoints go through the governed middleware.
 	s.mux.HandleFunc("/v1/search", s.method(http.MethodPost, s.handleSearch))
@@ -370,7 +382,23 @@ type AdmissionStatsResponse struct {
 	Reclaimed uint64 `json:"reclaimed"`
 }
 
-// StatsResponse is the /v1/stats reply.
+// ShardStatsResponse is one shard's slice of /v1/stats.
+type ShardStatsResponse struct {
+	Shard        int    `json:"shard"`
+	Vectors      int    `json:"vectors"`
+	Live         int    `json:"live"`
+	ExtraEdges   int    `json:"extraEdges"`
+	PendingFix   int    `json:"pendingFix"`
+	FixedQueries int    `json:"fixedQueries"`
+	FixBatches   int    `json:"fixBatches"`
+	ShedQueries  int    `json:"shedQueries"`
+	WALErrors    int    `json:"walErrors"`
+	LastWALError string `json:"lastWALError,omitempty"`
+}
+
+// StatsResponse is the /v1/stats reply. Graph and fixer numbers are the
+// cross-shard aggregate; PerShard breaks them down when the index runs
+// more than one shard.
 type StatsResponse struct {
 	Vectors      int     `json:"vectors"`
 	Live         int     `json:"live"`
@@ -392,6 +420,11 @@ type StatsResponse struct {
 	ClampedSearches   int64 `json:"clampedSearches"`
 	// Admission is present when an overload controller is configured.
 	Admission *AdmissionStatsResponse `json:"admission,omitempty"`
+	// Shards is the shard count; PerShard is present when it exceeds 1
+	// (a single-shard response stays shaped exactly like the unsharded
+	// server's).
+	Shards   int                  `json:"shards"`
+	PerShard []ShardStatsResponse `json:"perShard,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -413,24 +446,45 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
+	shards := s.group.Shards()
+	parallel := shards
 	clamped := false
+	clampedBy := obs.ClampNone
 	if s.Admission != nil {
-		// Degrade before admitting: a clamped search asks for fewer cost
-		// units, so quality reduction directly raises throughput.
-		if eff, cl := s.Admission.EffectiveEF(ef, s.EFFloor); cl {
-			ef, clamped = eff, true
+		// Budget clamp first: scatter cost scales with the shard count, so
+		// an ef that fit the capacity unsharded can exceed it fanned out.
+		// Clamping here (and reporting it) beats Acquire silently capping
+		// the cost while every shard still runs the full-width beam.
+		if max := s.Admission.MaxEF(shards); max >= k && ef > max {
+			ef, clamped, clampedBy = max, true, obs.ClampBudget
 			s.clamped.Add(1)
 		}
-		release, err := s.Admission.Acquire(ctx, s.Admission.SearchCost(ef))
+		// Then degrade under pressure: a clamped search asks for fewer
+		// cost units, so quality reduction directly raises throughput.
+		if eff, cl := s.Admission.EffectiveEF(ef, s.EFFloor); cl {
+			ef, clampedBy = eff, obs.ClampAdmission
+			if !clamped {
+				clamped = true
+				s.clamped.Add(1)
+			}
+		}
+		cost := s.Admission.SearchCostN(ef, shards)
+		release, err := s.Admission.Acquire(ctx, cost)
 		if err != nil {
 			s.metrics.observeSearch(outcomeShed, time.Since(start))
 			s.shedResponse(w, err)
 			return
 		}
 		defer release()
+		// The granted units double as the fan-out budget: each unit funds
+		// roughly one concurrent per-shard beam, so a cheap (clamped)
+		// request cannot occupy every shard at once.
+		if cost < parallel {
+			parallel = cost
+		}
 	}
 
-	res, st := s.fixer.SearchCtx(ctx, req.Vector, k, ef)
+	res, st := s.group.SearchCtx(ctx, req.Vector, k, ef, parallel)
 	if st.Truncated {
 		s.truncated.Add(1)
 	}
@@ -446,7 +500,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if s.SlowQueries.Observe(obs.SlowQuery{
 		ID: s.SlowQueries.NextID(), K: k, EF: requestedEF, EFUsed: ef,
 		NDC: st.NDC, Hops: st.Hops,
-		Truncated: st.Truncated, Clamped: clamped, Duration: dur,
+		Truncated: st.Truncated, Clamped: clamped, ClampedBy: clampedBy,
+		Duration: dur,
 	}) {
 		s.metrics.observeSlowQuery()
 	}
@@ -484,7 +539,7 @@ func (s *Server) searchParams(req SearchRequest) (k, ef int, err error) {
 		if *req.EF < k {
 			return 0, 0, fmt.Errorf("ef (%d) must be at least k (%d)", *req.EF, k)
 		}
-		if n := s.fixer.Len(); n > 0 && *req.EF > n {
+		if n := s.group.Len(); n > 0 && *req.EF > n {
 			return 0, 0, fmt.Errorf("ef (%d) exceeds the graph size (%d vectors)", *req.EF, n)
 		}
 		ef = *req.EF
@@ -501,7 +556,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.fixer.InsertChecked(req.Vector)
+	id, err := s.group.InsertChecked(req.Vector)
 	if err != nil {
 		// Applied in memory but not journaled: refuse the ack so the
 		// client knows the write is at risk until the next snapshot.
@@ -519,7 +574,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	deleted, err := s.fixer.DeleteChecked(req.ID)
+	deleted, err := s.group.DeleteChecked(req.ID)
 	if errors.Is(err, core.ErrUnknownID) {
 		s.httpError(w, http.StatusNotFound, fmt.Errorf("id %d out of range", req.ID))
 		return
@@ -533,7 +588,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.fixer.FixPendingChecked()
+	rep, err := s.group.FixPendingChecked()
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError,
 			fmt.Errorf("fix batch applied (%d queries) but not journaled (durability degraded): %v", rep.Queries, err))
@@ -547,7 +602,7 @@ func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	rep := s.fixer.PurgeAndRepair(req.K, req.EF)
+	rep := s.group.PurgeAndRepair(req.K, req.EF)
 	s.writeJSON(w, PurgeResponse{Purged: rep.Purged, EdgesRemoved: rep.EdgesRemoved, RepairEdges: rep.RepairEdges})
 }
 
@@ -564,9 +619,20 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	// One OnlineStats call: graph numbers must come from under the
-	// fixer's lock, never from unlocked reads through Index().
-	ost := s.fixer.OnlineStats()
+	// One OnlineStats call per shard: graph numbers must come from under
+	// each fixer's lock, never from unlocked reads through Index().
+	ost, per := s.group.OnlineStats()
+	var perShard []ShardStatsResponse
+	if len(per) > 1 {
+		perShard = make([]ShardStatsResponse, len(per))
+		for i, p := range per {
+			perShard[i] = ShardStatsResponse{
+				Shard: i, Vectors: p.Vectors, Live: p.Live, ExtraEdges: p.ExtraEdges,
+				PendingFix: p.Pending, FixedQueries: p.FixedQueries, FixBatches: p.FixBatches,
+				ShedQueries: p.ShedQueries, WALErrors: p.WALErrors, LastWALError: p.LastWALError,
+			}
+		}
+	}
 	var adm *AdmissionStatsResponse
 	if s.Admission != nil {
 		ast := s.Admission.Stats()
@@ -597,6 +663,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TruncatedSearches: s.truncated.Load(),
 		ClampedSearches:   s.clamped.Load(),
 		Admission:         adm,
+		Shards:            s.group.Shards(),
+		PerShard:          perShard,
 	})
 }
 
@@ -614,10 +682,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
 		return
 	}
-	if s.fixer.Degraded() {
+	if bad := s.group.DegradedShards(); len(bad) > 0 {
 		// Searches still work, but acknowledged writes may not survive a
 		// crash until a snapshot succeeds — stop routing traffic here.
-		s.httpError(w, http.StatusServiceUnavailable, errors.New("durability degraded (WAL failing; snapshot to recover)"))
+		msg := "durability degraded (WAL failing; snapshot to recover)"
+		if s.group.Shards() > 1 {
+			msg = fmt.Sprintf("durability degraded on shard(s) %v (WAL failing; snapshot to recover)", bad)
+		}
+		s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
 		return
 	}
 	w.WriteHeader(http.StatusOK)
@@ -628,7 +700,7 @@ func (s *Server) checkVector(v []float32) error {
 	if len(v) == 0 {
 		return fmt.Errorf("vector is required")
 	}
-	if dim := s.fixer.Dim(); len(v) != dim {
+	if dim := s.group.Dim(); len(v) != dim {
 		return fmt.Errorf("vector dim %d != index dim %d", len(v), dim)
 	}
 	return nil

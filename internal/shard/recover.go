@@ -1,0 +1,69 @@
+package shard
+
+import (
+	"fmt"
+
+	"ngfix/internal/core"
+	"ngfix/internal/persist"
+)
+
+// Replay applies st's op-log tail onto ix, mirroring what the shard's
+// fixer did live: inserts re-run base-graph insertion, deletes re-mark
+// tombstones, fix batches re-apply the exact extra-adjacency
+// replacements. It returns the number of ops replayed.
+func Replay(st *persist.Store, ix *core.Index) (int, error) {
+	return st.Replay(func(op persist.Op) error { return applyOp(ix, op) })
+}
+
+func applyOp(ix *core.Index, op persist.Op) error {
+	switch op.Kind {
+	case persist.OpInsert:
+		if len(op.Vector) != ix.G.Dim() {
+			return fmt.Errorf("replay insert: dim %d != index dim %d", len(op.Vector), ix.G.Dim())
+		}
+		ix.Insert(op.Vector)
+		return nil
+	case persist.OpDelete:
+		if int(op.ID) >= ix.G.Len() {
+			return fmt.Errorf("replay delete: id %d out of range", op.ID)
+		}
+		ix.Delete(op.ID)
+		return nil
+	case persist.OpFixEdges:
+		return ix.ApplyExtraUpdates(op.Updates)
+	}
+	return fmt.Errorf("replay: unknown op kind %d", op.Kind)
+}
+
+// Recover rebuilds every shard's index from its store: newest snapshot
+// plus op-log tail, independently per shard. Shards recover at whatever
+// generation they last sealed — a shard whose snapshot is newer simply
+// has a shorter (or empty) log tail, and no cross-shard coordination is
+// needed because the global↔local id mapping is pure arithmetic over
+// the shard count. Entry points are preserved (opts.PreserveEntry is
+// forced) so recovered graphs search identically to the originals.
+//
+// Returns the per-shard indexes and ops-replayed counts, parallel to
+// stores. Every store must already hold state (HasState); recovering a
+// half-initialized layout is the caller's error to surface.
+func Recover(stores []*persist.Store, opts core.Options) ([]*core.Index, []int, error) {
+	opts.PreserveEntry = true
+	ixs := make([]*core.Index, len(stores))
+	replayed := make([]int, len(stores))
+	for s, st := range stores {
+		if !st.HasState() {
+			return nil, nil, fmt.Errorf("shard %d: no snapshot in %s (layout half-initialized?)", s, st.Dir())
+		}
+		g, err := st.Load()
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d: load snapshot: %w", s, err)
+		}
+		ix := core.New(g, opts)
+		n, err := Replay(st, ix)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d: replay op log: %w", s, err)
+		}
+		ixs[s], replayed[s] = ix, n
+	}
+	return ixs, replayed, nil
+}

@@ -1,0 +1,77 @@
+// Package shard scales the online serving stack horizontally: instead of
+// one fixer owning one graph behind one lock pair and one WAL, a Group
+// owns N shards, each a full core.OnlineFixer with its own lock domain,
+// query-recording buffer, op log, and snapshot generations. Mutations
+// route to the owning shard, so a WAL stall or fix batch on one shard no
+// longer blocks inserts, snapshots, or repairs on the others — repair
+// work stays scoped to the shard whose traffic produced it. Searches
+// scatter to every shard in parallel and gather through a k-way merge.
+//
+// Identity is arithmetic, not stored: a vector's global id encodes its
+// placement as
+//
+//	shard(id) = id mod N        local(id) = id div N
+//	global(shard, local) = local·N + shard
+//
+// — a stable hash on the id with N fixed at build/recovery time (the
+// persist manifest records it). Nothing about the mapping needs to be
+// journaled or rebuilt: each shard recovers independently from its own
+// snapshot + WAL, at whatever generation it last sealed, and the global
+// id space follows from the shard lengths. With N = 1 every function
+// degenerates to the identity, which is why a one-shard Group is
+// bit-compatible with the unsharded server.
+package shard
+
+import (
+	"fmt"
+
+	"ngfix/internal/vec"
+)
+
+// Router is the stable id↔shard arithmetic. It is a value, not a table:
+// two routers with the same shard count agree everywhere, forever.
+type Router struct {
+	n int
+}
+
+// NewRouter returns a router over n shards (n < 1 panics: the count is a
+// build-time constant, not runtime input).
+func NewRouter(n int) Router {
+	if n < 1 {
+		panic(fmt.Sprintf("shard: router over %d shards", n))
+	}
+	return Router{n: n}
+}
+
+// Shards returns the shard count.
+func (r Router) Shards() int { return r.n }
+
+// ShardOf returns the shard owning global id.
+func (r Router) ShardOf(global uint32) int { return int(global % uint32(r.n)) }
+
+// Local converts a global id to the owning shard's local id.
+func (r Router) Local(global uint32) uint32 { return global / uint32(r.n) }
+
+// Global converts a shard-local id back to the global id space.
+func (r Router) Global(shard int, local uint32) uint32 {
+	return local*uint32(r.n) + uint32(shard)
+}
+
+// Partition splits base row-wise across n shards with the router's
+// interleave: row i lands on shard i mod n at local index i div n, so the
+// global id of every row equals its original row index. A one-shard
+// partition returns base itself.
+func Partition(base *vec.Matrix, n int) []*vec.Matrix {
+	if n == 1 {
+		return []*vec.Matrix{base}
+	}
+	r := NewRouter(n)
+	parts := make([]*vec.Matrix, n)
+	for s := range parts {
+		parts[s] = vec.NewMatrix(0, base.Dim())
+	}
+	for i := 0; i < base.Rows(); i++ {
+		parts[r.ShardOf(uint32(i))].Append(base.Row(i))
+	}
+	return parts
+}
