@@ -53,6 +53,7 @@ import (
 	"ngfix/internal/hnsw"
 	"ngfix/internal/obs"
 	"ngfix/internal/persist"
+	"ngfix/internal/repair"
 	"ngfix/internal/server"
 	"ngfix/internal/shard"
 	"ngfix/internal/vec"
@@ -75,6 +76,12 @@ func run(args []string) int {
 	sample := fl.Int("fix-sample", 1, "record every n-th query for fixing")
 	autofix := fl.Bool("autofix", false, "fix synchronously when the batch fills (otherwise POST /v1/fix or use -fix-interval)")
 	interval := fl.Duration("fix-interval", 0, "background fixing period (0 disables)")
+	repairMode := fl.String("repair-mode", "adaptive", "background repair policy with -fix-interval: adaptive (per-shard signal-triggered controller with hysteresis and pressure backoff) | interval (legacy fixed cadence)")
+	repairThetaHi := fl.Float64("repair-theta-hi", 0.3, "unreachable-rate EWMA that enters eager repair (adaptive mode)")
+	repairThetaLo := fl.Float64("repair-theta-lo", 0.1, "unreachable-rate EWMA below which eager repair may exit after the dwell (adaptive mode)")
+	repairDwell := fl.Duration("repair-dwell", 5*time.Second, "minimum time in eager repair before exiting (hysteresis; adaptive mode)")
+	repairMaxInterval := fl.Duration("repair-max-interval", 0, "cadence ceiling repair stretches toward under admission pressure (0 means 16x -fix-interval)")
+	repairMinBatch := fl.Int("repair-min-batch", 8, "smallest fix batch the controller pays admission for before deferring a tick (adaptive mode)")
 	snapDir := fl.String("snapshot-dir", "", "directory for snapshots + op log (enables crash safety and recovery)")
 	shards := fl.Int("shards", 1, "shard count: each shard gets its own fixer, op log, and snapshot subdirectory; searches scatter-gather (fixed at build time — a sharded -snapshot-dir pins it)")
 	snapEvery := fl.Int("snapshot-every", 8, "automatic snapshot every N fix batches (0 disables; needs -snapshot-dir)")
@@ -89,6 +96,10 @@ func run(args []string) int {
 	slowQueryMS := fl.Int("slow-query-ms", 0, "log every search at or over this many milliseconds (0 disables the slow-query log)")
 	pprofOn := fl.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling data; enable only on trusted networks)")
 	fl.Parse(args)
+	if *repairMode != "adaptive" && *repairMode != "interval" {
+		log.Printf("-repair-mode must be adaptive or interval, got %q", *repairMode)
+		return 1
+	}
 	shardsFlagSet := false
 	fl.Visit(func(f *flag.Flag) {
 		if f.Name == "shards" {
@@ -271,7 +282,28 @@ func run(args []string) int {
 	defer stop()
 
 	if *interval > 0 {
-		go group.RunBackground(ctx, *interval, log.Printf)
+		if *repairMode == "interval" {
+			// Escape hatch: the pre-controller fixed cadence, unchanged.
+			go group.RunBackground(ctx, *interval, log.Printf)
+		} else {
+			ctls := make([]*repair.Controller, group.Shards())
+			for i := range ctls {
+				ctls[i] = repair.New(i, group.Fixer(i), s.Admission, repair.Config{
+					Interval:    *interval,
+					MaxInterval: *repairMaxInterval,
+					ThetaHi:     *repairThetaHi,
+					ThetaLo:     *repairThetaLo,
+					Dwell:       *repairDwell,
+					MinBatch:    *repairMinBatch,
+				})
+				if r := fixerReg(i); r != nil {
+					ctls[i].RegisterMetrics(r)
+				}
+			}
+			fleet := repair.NewFleet(ctls...)
+			s.Repair = fleet
+			go fleet.Run(ctx, log.Printf)
+		}
 	}
 
 	srv := &http.Server{

@@ -157,7 +157,7 @@ func TestMetricsShardLabels(t *testing.T) {
 
 	p := startServer(t, bin, "-index", idx,
 		"-snapshot-dir", filepath.Join(work, "state"),
-		"-shards", "2", "-fix-batch", "16")
+		"-shards", "2", "-fix-batch", "16", "-fix-interval", "30s")
 	for qi := 0; qi < 4; qi++ {
 		var sr server.SearchResponse
 		p.post(t, "/v1/search", server.SearchRequest{Vector: d.History.Row(qi), K: server.IntPtr(5), EF: server.IntPtr(20)}, &sr)
@@ -204,13 +204,23 @@ func TestMetricsShardLabels(t *testing.T) {
 		}
 	}
 
-	// Both shards and the shared limiter are individually visible.
+	// Both shards and the shared limiter are individually visible, and the
+	// adaptive repair controller (enabled by -fix-interval) exports its
+	// per-shard families: mode one-hot, trigger reasons, batch counters.
 	for _, key := range []string{
 		`ngfix_vectors{shard="0"}`,
 		`ngfix_vectors{shard="1"}`,
 		`ngfix_wal_snapshot_seconds_count{shard="0"}`,
 		`ngfix_wal_snapshot_seconds_count{shard="1"}`,
 		`ngfix_admission_admitted_total{shard="all"}`,
+		`ngfix_repair_mode{mode="steady",shard="0"}`,
+		`ngfix_repair_mode{mode="eager",shard="1"}`,
+		`ngfix_repair_triggers_total{reason="interval",shard="0"}`,
+		`ngfix_repair_triggers_total{reason="pressure",shard="1"}`,
+		`ngfix_repair_batches_total{shard="0"}`,
+		`ngfix_repair_deferred_total{shard="1"}`,
+		`ngfix_repair_cost_units_total{shard="0"}`,
+		`ngfix_repair_unreachable_ewma{shard="1"}`,
 	} {
 		if _, ok := samples[key]; !ok {
 			t.Errorf("missing %s in sharded exposition", key)

@@ -45,6 +45,11 @@ type Config struct {
 	// PressureThreshold is the queue fill fraction in [0,1) past which
 	// quality degradation kicks in (default 0.5).
 	PressureThreshold float64
+	// FixUnitQueries is how many fix-batch queries cost one admission
+	// unit (default 8). A fix batch preprocesses each recorded query
+	// with a truth search, so its work scales with the batch size the
+	// same way search work scales with ef.
+	FixUnitQueries int
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +64,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PressureThreshold <= 0 || c.PressureThreshold >= 1 {
 		c.PressureThreshold = 0.5
+	}
+	if c.FixUnitQueries <= 0 {
+		c.FixUnitQueries = 8
 	}
 	return c
 }
@@ -125,6 +133,49 @@ func (c *Controller) MaxEF(shards int) int {
 		shards = 1
 	}
 	return c.cfg.Capacity * c.cfg.CostUnitEF / shards
+}
+
+// FixCost converts a fix batch's query count into admission units:
+// ceil(queries/FixUnitQueries), at least 1, and never more than half the
+// capacity. The half-capacity clamp is the starvation guard for
+// background repair — a repair batch admitted through TryAcquire can
+// wedge (a frozen WAL holds it mid-batch, units in hand), and even then
+// searches must always find at least half the capacity available.
+func (c *Controller) FixCost(queries int) int {
+	cost := (queries + c.cfg.FixUnitQueries - 1) / c.cfg.FixUnitQueries
+	if cost < 1 {
+		cost = 1
+	}
+	if max := c.cfg.Capacity / 2; max >= 1 && cost > max {
+		cost = max
+	}
+	return cost
+}
+
+// TryAcquire is the background-work admission path: it admits cost units
+// only when they are free right now — nobody queued ahead and capacity
+// available — and never joins the wait queue. Background repair must not
+// occupy queue slots (that raises the pressure signal and sheds real
+// requests) and must not outrank FIFO waiters; when TryAcquire reports
+// false the caller shrinks its batch or defers to a later tick.
+//
+// TryAcquire deliberately stays out of the request ledger: Admitted /
+// Shed / TimedOut / Reclaimed keep reconciling exactly with client
+// arrivals, while the units show up in InUse until released.
+func (c *Controller) TryAcquire(cost int) (release func(), ok bool) {
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > c.cfg.Capacity {
+		cost = c.cfg.Capacity
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) > 0 || c.inUse+cost > c.cfg.Capacity {
+		return nil, false
+	}
+	c.inUse += cost
+	return func() { c.release(cost) }, true
 }
 
 // Acquire admits a request of the given cost, waiting in FIFO order

@@ -31,6 +31,14 @@ type fixerMetrics struct {
 	unreachableAfter  *obs.Histogram
 }
 
+// Help strings shared by several series of one family. A family's help
+// must be identical across registrations (obs.Registry enforces it), so
+// phases of the same family share one literal instead of re-typing it.
+const (
+	unreachableRateHelp = "Per fix batch: fraction of queries with an unreachable NN pair, before and after repair."
+	fixEdgesHelp        = "Extra edges added by the online fixer, by mechanism."
+)
+
 func newFixerMetrics(reg *obs.Registry, o *OnlineFixer) *fixerMetrics {
 	rateBuckets := obs.LinearBuckets(0.05, 0.05, 20) // 0.05 .. 1.0
 	m := &fixerMetrics{
@@ -44,11 +52,9 @@ func newFixerMetrics(reg *obs.Registry, o *OnlineFixer) *fixerMetrics {
 			"Online fix batches applied."),
 		fixQueries: reg.Counter("ngfix_fix_queries_total",
 			"Recorded queries consumed by fix batches."),
-		ngfixEdges: reg.Counter("ngfix_fix_edges_total",
-			"Extra edges added by the online fixer, by mechanism.",
+		ngfixEdges: reg.Counter("ngfix_fix_edges_total", fixEdgesHelp,
 			obs.Label{Name: "kind", Value: "ngfix"}),
-		rfixEdges: reg.Counter("ngfix_fix_edges_total",
-			"Extra edges added by the online fixer, by mechanism.",
+		rfixEdges: reg.Counter("ngfix_fix_edges_total", fixEdgesHelp,
 			obs.Label{Name: "kind", Value: "rfix"}),
 		defectivePairs: reg.Counter("ngfix_fix_defective_pairs_total",
 			"NN pairs above the reachability threshold delta seen by fix batches (pre-fix)."),
@@ -56,10 +62,10 @@ func newFixerMetrics(reg *obs.Registry, o *OnlineFixer) *fixerMetrics {
 			"Wall time of one fix batch (preprocessing + graph repair).",
 			obs.DefLatencyBuckets),
 		unreachableBefore: reg.Histogram("ngfix_fix_unreachable_query_rate",
-			"Per fix batch: fraction of queries with an unreachable NN pair, before and after repair.",
+			unreachableRateHelp,
 			rateBuckets, obs.Label{Name: "phase", Value: "before"}),
 		unreachableAfter: reg.Histogram("ngfix_fix_unreachable_query_rate",
-			"Per fix batch: fraction of queries with an unreachable NN pair, before and after repair.",
+			unreachableRateHelp,
 			rateBuckets, obs.Label{Name: "phase", Value: "after"}),
 	}
 	reg.GaugeFunc("ngfix_vectors",

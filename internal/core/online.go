@@ -70,6 +70,13 @@ type OnlineFixer struct {
 	walErrs      int
 	lastWALErr   error
 
+	// unreachableEWMA tracks the unreachable-before rate (fraction of a
+	// batch's queries whose NN pair RFix found unreachable, pre-repair)
+	// smoothed across recent batches — the navigability signal a repair
+	// controller triggers on. Guarded by mu; written once per fix batch.
+	unreachableEWMA float64
+	ewmaSeeded      bool
+
 	// dim is immutable for the fixer's lifetime; nvec tracks the vector
 	// count (monotone: deletes are tombstones). Both are readable without
 	// the lock so request validation stays responsive even while a
@@ -305,6 +312,56 @@ func (o *OnlineFixer) OnlineStats() OnlineStats {
 	return st
 }
 
+// Signals is the navigability snapshot a repair controller decides on:
+// how much repair signal is waiting (and being lost), how unreachable
+// the live workload has been finding the graph, and whether durability
+// is failing. Every field is cheap to read — a controller polls this on
+// every tick.
+type Signals struct {
+	// Pending is the recorded-query buffer depth; BatchCap is its
+	// capacity (the configured batch size). Pending == BatchCap means
+	// the next recorded query sheds the oldest one.
+	Pending  int
+	BatchCap int
+	// Shed counts recorded queries dropped oldest-first over the fixer's
+	// lifetime (monotone). A rising delta means repair signal is being
+	// lost faster than batches consume it.
+	Shed int
+	// UnreachableEWMA is the smoothed unreachable-before rate across
+	// recent fix batches: the fraction of each batch's queries whose NN
+	// pair RFix found unreachable before repair. Zero until the first
+	// batch with queries runs (or when no round enables RFix).
+	UnreachableEWMA float64
+	// Batches is the lifetime fix-batch count (monotone), so a
+	// controller can tell a fresh EWMA from a stale one.
+	Batches int
+	// WALErrors and Degraded mirror OnlineStats: durability failures the
+	// fixer absorbed, and whether the last one is still uncleared.
+	WALErrors int
+	Degraded  bool
+}
+
+// Signals returns the fixer's repair-trigger snapshot. The queue fields
+// and the batch/durability fields are read under different leaf locks,
+// so they may drift by one in-flight query relative to each other —
+// trigger inputs, not invariants.
+func (o *OnlineFixer) Signals() Signals {
+	o.qmu.Lock()
+	pending, shed := o.pending.Rows(), o.shed
+	o.qmu.Unlock()
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return Signals{
+		Pending:         pending,
+		BatchCap:        o.batchSize,
+		Shed:            shed,
+		UnreachableEWMA: o.unreachableEWMA,
+		Batches:         o.totalBatches,
+		WALErrors:       o.walErrs,
+		Degraded:        o.lastWALErr != nil,
+	}
+}
+
 // Dim returns the index dimensionality. Dimensionality is immutable for
 // the fixer's lifetime, so this never touches the lock — request
 // validation must stay responsive even while a stalled write holds it.
@@ -346,13 +403,36 @@ func (o *OnlineFixer) FixPending() FixReport {
 // batch can fail independently, and background loops want to know so they
 // can back off and retry.
 func (o *OnlineFixer) FixPendingChecked() (FixReport, error) {
+	return o.FixPendingLimitChecked(0)
+}
+
+// ewmaAlpha weights the newest batch's unreachable-before rate in the
+// smoothed navigability signal: high enough that one bursty-churn batch
+// moves the needle, low enough that one outlier batch does not flap a
+// trigger with hysteresis around it.
+const ewmaAlpha = 0.3
+
+// FixPendingLimitChecked is FixPendingChecked with a batch cap: at most
+// max recorded queries are drained (oldest first — they are the ones the
+// full buffer would shed next) and the rest stay pending for a later
+// batch. max <= 0 drains everything. This is the graceful-degradation
+// path of the adaptive repair controller: under admission saturation it
+// shrinks batches instead of stopping repair entirely.
+func (o *OnlineFixer) FixPendingLimitChecked(max int) (FixReport, error) {
 	o.qmu.Lock()
-	batch := o.pending
-	if batch.Rows() == 0 {
+	var batch *vec.Matrix
+	rows := o.pending.Rows()
+	switch {
+	case rows == 0:
 		o.qmu.Unlock()
 		return FixReport{}, nil
+	case max <= 0 || max >= rows:
+		batch = o.pending
+		o.pending = vec.NewMatrix(0, o.dim)
+	default:
+		batch = o.pending.Slice(0, max).Clone()
+		o.pending.DropFront(max)
 	}
-	o.pending = vec.NewMatrix(0, o.dim)
 	o.qmu.Unlock()
 
 	// Approximate truth under the read lock (concurrent with searches).
@@ -369,6 +449,14 @@ func (o *OnlineFixer) FixPendingChecked() (FixReport, error) {
 	rep := o.ix.Fix(batch, truth)
 	o.totalFixed += batch.Rows()
 	o.totalBatches++
+	if rep.Queries > 0 {
+		rate := float64(rep.RFixTriggered) / float64(rep.Queries)
+		if !o.ewmaSeeded {
+			o.unreachableEWMA, o.ewmaSeeded = rate, true
+		} else {
+			o.unreachableEWMA = ewmaAlpha*rate + (1-ewmaAlpha)*o.unreachableEWMA
+		}
+	}
 	// Graph structure changed: drop pooled searchers bound to stale sizes.
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
 	var err error

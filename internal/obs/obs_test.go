@@ -63,6 +63,13 @@ func TestRegistrationPanics(t *testing.T) {
 		{"reserved le", func(r *Registry) { r.Histogram("h", "", []float64{1}, Label{"le", "x"}) }},
 		{"duplicate series", func(r *Registry) { r.Counter("dup_total", ""); r.Counter("dup_total", "") }},
 		{"type mismatch", func(r *Registry) { r.Counter("mix", ""); r.Gauge("mix", "") }},
+		{"help mismatch", func(r *Registry) {
+			// Same family, divergent help: the exposition would carry
+			// whichever literal registered first, silently orphaning the
+			// other — a startup panic beats dashboard drift.
+			r.Counter("hm_total", "one help", Label{"kind", "a"})
+			r.Counter("hm_total", "another help", Label{"kind", "b"})
+		}},
 		{"empty buckets", func(r *Registry) { r.Histogram("h", "", nil) }},
 		{"unsorted buckets", func(r *Registry) { r.Histogram("h", "", []float64{2, 1}) }},
 		{"nil gauge func", func(r *Registry) { r.GaugeFunc("g", "", nil) }},
@@ -285,7 +292,7 @@ func TestSlowQueryLogThreshold(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("lines = %v", lines)
 	}
-	want := "slow-query id=2 k=10 ef=100 efUsed=80 ef_clamped_by=admission ndc=1234 hops=57 truncated=false clamped=true durMs=12.345"
+	want := "slow-query id=2 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=none ndc=1234 hops=57 truncated=false clamped=true durMs=12.345"
 	if lines[0] != want {
 		t.Fatalf("line format drifted:\n got %q\nwant %q", lines[0], want)
 	}

@@ -134,6 +134,12 @@ func (r *Registry) add(name, help, typ string, s *series) {
 		r.fams = append(r.fams, f)
 	} else if f.typ != typ {
 		panic("obs: metric " + name + " registered as " + f.typ + ", now " + typ)
+	} else if f.help != help {
+		// One divergent edit to a re-typed help literal would split the
+		// family in the exposition; insist registrations agree so the
+		// drift is caught at startup, not on a dashboard.
+		panic("obs: metric " + name + " registered with help " + strconv.Quote(f.help) +
+			", now " + strconv.Quote(help))
 	}
 	if f.seen[key] {
 		panic("obs: duplicate series " + name + key)

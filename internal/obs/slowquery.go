@@ -23,7 +23,13 @@ type SlowQuery struct {
 	// capped to fit the admission capacity), or "none" — so slow queries
 	// can be attributed to policy decisions, not just observed.
 	ClampedBy string
-	Duration  time.Duration
+	// Repair is the repair controller's aggregate mode while the query
+	// ran ("eager" | "steady" | "backoff", or "none" without a
+	// controller) — a slow search concurrent with eager repair is
+	// contending with fix batches for the write lock, and the line
+	// should say so.
+	Repair   string
+	Duration time.Duration
 }
 
 // Clamp policy names for SlowQuery.ClampedBy.
@@ -39,7 +45,7 @@ const (
 //
 // Line format (one line, stable key order, parseable as logfmt):
 //
-//	slow-query id=42 k=10 ef=100 efUsed=80 ef_clamped_by=admission ndc=1234 hops=57 truncated=false clamped=true durMs=12.345
+//	slow-query id=42 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=steady ndc=1234 hops=57 truncated=false clamped=true durMs=12.345
 type SlowQueryLog struct {
 	// Threshold gates emission: only queries with Duration >= Threshold
 	// are logged. <= 0 disables the log.
@@ -71,8 +77,12 @@ func (l *SlowQueryLog) Observe(q SlowQuery) bool {
 		if by == "" {
 			by = ClampNone
 		}
-		l.Logf("slow-query id=%d k=%d ef=%d efUsed=%d ef_clamped_by=%s ndc=%d hops=%d truncated=%t clamped=%t durMs=%.3f",
-			q.ID, q.K, q.EF, q.EFUsed, by, q.NDC, q.Hops, q.Truncated, q.Clamped,
+		repair := q.Repair
+		if repair == "" {
+			repair = "none"
+		}
+		l.Logf("slow-query id=%d k=%d ef=%d efUsed=%d ef_clamped_by=%s repair=%s ndc=%d hops=%d truncated=%t clamped=%t durMs=%.3f",
+			q.ID, q.K, q.EF, q.EFUsed, by, repair, q.NDC, q.Hops, q.Truncated, q.Clamped,
 			float64(q.Duration)/float64(time.Millisecond))
 	}
 	return true

@@ -57,6 +57,7 @@ import (
 	"ngfix/internal/admission"
 	"ngfix/internal/core"
 	"ngfix/internal/obs"
+	"ngfix/internal/repair"
 	"ngfix/internal/shard"
 )
 
@@ -104,6 +105,11 @@ type Server struct {
 	// threshold with the fields needed to explain it (ndc, hops, clamping,
 	// truncation, duration).
 	SlowQueries *obs.SlowQueryLog
+	// Repair, when non-nil, is the adaptive repair fleet: /v1/stats gains
+	// per-shard controller status, slow-query lines carry the repair mode
+	// the query contended with, and /readyz reports controllers wedged on
+	// consecutive fix failures.
+	Repair *repair.Fleet
 
 	ready     atomic.Bool
 	draining  atomic.Bool
@@ -425,6 +431,12 @@ type StatsResponse struct {
 	// server's).
 	Shards   int                  `json:"shards"`
 	PerShard []ShardStatsResponse `json:"perShard,omitempty"`
+	// RepairMode is the repair fleet's aggregate mode (eager | backoff |
+	// steady) and Repair its per-shard controller status — mode, last
+	// trigger reason, batch/defer/shrink counters, admission cost paid.
+	// Present when the adaptive repair controller is running.
+	RepairMode string          `json:"repairMode,omitempty"`
+	Repair     []repair.Status `json:"repair,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -497,10 +509,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		outcome = outcomeClamped
 	}
 	s.metrics.observeSearch(outcome, dur)
+	repairMode := ""
+	if s.Repair != nil {
+		repairMode = s.Repair.Mode()
+	}
 	if s.SlowQueries.Observe(obs.SlowQuery{
 		ID: s.SlowQueries.NextID(), K: k, EF: requestedEF, EFUsed: ef,
 		NDC: st.NDC, Hops: st.Hops,
 		Truncated: st.Truncated, Clamped: clamped, ClampedBy: clampedBy,
+		Repair:   repairMode,
 		Duration: dur,
 	}) {
 		s.metrics.observeSlowQuery()
@@ -644,6 +661,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Reclaimed: ast.Reclaimed,
 		}
 	}
+	var repairMode string
+	var repairStatus []repair.Status
+	if s.Repair != nil {
+		repairMode = s.Repair.Mode()
+		repairStatus = s.Repair.Status()
+	}
 	s.writeJSON(w, StatsResponse{
 		Vectors:      ost.Vectors,
 		Live:         ost.Live,
@@ -665,6 +688,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Admission:         adm,
 		Shards:            s.group.Shards(),
 		PerShard:          perShard,
+		RepairMode:        repairMode,
+		Repair:            repairStatus,
 	})
 }
 
@@ -691,6 +716,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		}
 		s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
 		return
+	}
+	if s.Repair != nil {
+		if bad := s.Repair.WedgedShards(); len(bad) > 0 {
+			// The index still answers, but repair signal is accumulating
+			// unapplied: the controller has failed several consecutive fix
+			// batches and is wedged on its retry schedule.
+			msg := "repair wedged in backoff (consecutive fix-batch failures)"
+			if s.group.Shards() > 1 {
+				msg = fmt.Sprintf("repair wedged in backoff on shard(s) %v (consecutive fix-batch failures)", bad)
+			}
+			s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
+			return
+		}
 	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
