@@ -54,6 +54,7 @@ import (
 	"ngfix/internal/obs"
 	"ngfix/internal/persist"
 	"ngfix/internal/repair"
+	"ngfix/internal/replica"
 	"ngfix/internal/server"
 	"ngfix/internal/shard"
 	"ngfix/internal/vec"
@@ -95,6 +96,11 @@ func run(args []string) int {
 	metricsOn := fl.Bool("metrics", true, "serve Prometheus metrics on GET /metrics")
 	slowQueryMS := fl.Int("slow-query-ms", 0, "log every search at or over this many milliseconds (0 disables the slow-query log)")
 	pprofOn := fl.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling data; enable only on trusted networks)")
+	replicaOf := fl.String("replica-of", "", "run as a read-only follower of a leader: a URL (http://host:port, pulls over /v1/replicate/*) or the leader's snapshot directory; serves always-stale searches, no mutations")
+	selfReplica := fl.Bool("self-replica", false, "keep one in-process read replica per shard fed from this server's own stores (needs -snapshot-dir): reads on a frozen or degraded shard fail over to the replica, flagged stale")
+	replicaLagMax := fl.Int64("replica-lag-max", 0, "most WAL bytes a replica may lag and still stand in for its shard (0: any bootstrapped replica serves)")
+	failoverAfter := fl.Duration("failover-after", 150*time.Millisecond, "hedge delay before a primary read is retried on its replica (with -self-replica; 0 fails over only degraded shards)")
+	replicaPoll := fl.Duration("replica-poll", 100*time.Millisecond, "replica WAL tail cadence")
 	fl.Parse(args)
 	if *repairMode != "adaptive" && *repairMode != "interval" {
 		log.Printf("-repair-mode must be adaptive or interval, got %q", *repairMode)
@@ -111,6 +117,16 @@ func run(args []string) int {
 	if *metricsOn {
 		reg = obs.NewRegistry()
 		obs.RegisterProcessMetrics(reg)
+	}
+
+	// Follower mode: no primaries, no stores of our own — just one read
+	// replica per shard tailing the leader, served read-only.
+	if *replicaOf != "" {
+		return runFollower(followerConfig{
+			target: *replicaOf, shards: *shards, shardsFlagSet: shardsFlagSet,
+			opts: core.Options{LEx: *lex}, lagMax: *replicaLagMax, poll: *replicaPoll,
+			addr: *addr, reg: reg, drainTimeout: *drainTimeout,
+		})
 	}
 
 	// --- Shard count resolution: a sharded snapshot dir pins the count
@@ -245,6 +261,46 @@ func run(args []string) int {
 	s := server.NewSharded(group)
 	if len(stores) > 0 {
 		s.SnapshotFunc = group.Snapshot
+		// Any persisted server can feed followers: the replication
+		// endpoints read only the store, never the fixers' locks.
+		s.Stores = stores
+	}
+	var replicaSet *replica.Set
+	if *selfReplica {
+		if len(stores) == 0 {
+			log.Print("-self-replica needs -snapshot-dir (replicas tail the store's op log)")
+			return 1
+		}
+		reps := make([]*replica.Replica, len(stores))
+		rr := make([]shard.ReadReplica, len(stores))
+		for i, st := range stores {
+			reps[i] = replica.New(replica.StoreSource{St: st}, replica.Config{
+				Shard: i, Opts: opts, LagMax: *replicaLagMax, Poll: *replicaPoll,
+				Logf: log.Printf,
+			})
+			rr[i] = reps[i]
+			if r := fixerReg(i); r != nil {
+				reps[i].RegisterMetrics(r)
+			}
+		}
+		replicaSet, err = replica.NewSet(reps)
+		if err != nil {
+			log.Printf("assemble replica set: %v", err)
+			return 1
+		}
+		pol := shard.FailoverPolicy{
+			After: *failoverAfter,
+			// A shard whose durability already failed is known-bad: route
+			// its reads to the replica immediately, no hedge delay.
+			Unhealthy: func(sh int) bool { return group.Fixer(sh).Degraded() },
+		}
+		if err := group.SetReplicas(rr, pol); err != nil {
+			log.Printf("attach replicas: %v", err)
+			return 1
+		}
+		s.Replicas = replicaSet
+		log.Printf("self-replica enabled: %d per-shard read replicas, failover after %s, lag max %d bytes",
+			len(reps), *failoverAfter, *replicaLagMax)
 	}
 	if *maxInflight > 0 {
 		s.Admission = admission.New(admission.Config{Capacity: *maxInflight, QueueDepth: *queueDepth})
@@ -280,6 +336,10 @@ func run(args []string) int {
 	// shutdown, context-stopped background fixer.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if replicaSet != nil {
+		go replicaSet.Run(ctx)
+	}
 
 	if *interval > 0 {
 		if *repairMode == "interval" {
@@ -363,6 +423,117 @@ func run(args []string) int {
 			gens[i] = strconv.FormatUint(st.Generation(), 10)
 		}
 		log.Printf("final snapshot written (generation %s)", strings.Join(gens, ","))
+	}
+	log.Print("shutdown complete")
+	return 0
+}
+
+// followerConfig carries the flags the follower mode needs.
+type followerConfig struct {
+	target        string // leader URL or snapshot directory
+	shards        int
+	shardsFlagSet bool
+	opts          core.Options
+	lagMax        int64
+	poll          time.Duration
+	addr          string
+	reg           *obs.Registry
+	drainTimeout  time.Duration
+}
+
+// runFollower serves -replica-of: one read replica per leader shard,
+// bootstrapped from the leader's snapshots and tailing its op logs,
+// behind the read-only follower HTTP surface. Searches answer with
+// "stale": true; /readyz holds 503 until every shard replica is
+// bootstrapped and within -replica-lag-max.
+func runFollower(cfg followerConfig) int {
+	n := cfg.shards
+	overHTTP := strings.HasPrefix(cfg.target, "http://") || strings.HasPrefix(cfg.target, "https://")
+	if !overHTTP {
+		// A leader directory pins its shard count via the manifest, same
+		// as the leader itself resolves it.
+		var err error
+		n, err = persist.ResolveShards(nil, cfg.target, cfg.shards, cfg.shardsFlagSet)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if n < 1 {
+		log.Printf("-shards must be at least 1, got %d", n)
+		return 1
+	}
+
+	reps := make([]*replica.Replica, n)
+	regs := make([]*obs.Registry, 0, n+1)
+	if cfg.reg != nil {
+		regs = append(regs, cfg.reg)
+	}
+	for i := range reps {
+		var src replica.Source
+		if overHTTP {
+			src = replica.HTTPSource{Base: strings.TrimRight(cfg.target, "/"), Shard: i}
+		} else if n == 1 {
+			src = replica.DirSource{Dir: cfg.target}
+		} else {
+			src = replica.DirSource{Dir: persist.ShardDir(cfg.target, i)}
+		}
+		reps[i] = replica.New(src, replica.Config{
+			Shard: i, Opts: cfg.opts, LagMax: cfg.lagMax, Poll: cfg.poll,
+			Logf: log.Printf,
+		})
+		if cfg.reg != nil {
+			r := cfg.reg
+			if n > 1 {
+				r = obs.NewRegistry(obs.Label{Name: "shard", Value: strconv.Itoa(i)})
+				regs = append(regs, r)
+			}
+			reps[i].RegisterMetrics(r)
+		}
+	}
+	set, err := replica.NewSet(reps)
+	if err != nil {
+		log.Printf("assemble replica set: %v", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go set.Run(ctx)
+
+	fol := server.NewFollower(set)
+	if cfg.reg != nil {
+		fol.EnableMetrics(regs...)
+	}
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           fol,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		log.Printf("listen: %v", err)
+		return 1
+	}
+	log.Printf("following %s on %s (%d shard replica(s), lag max %d bytes)", cfg.target, ln.Addr(), n, cfg.lagMax)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		log.Printf("serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutdown signal received, draining (timeout %s)", cfg.drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
 	}
 	log.Print("shutdown complete")
 	return 0

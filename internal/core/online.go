@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"ngfix/internal/graph"
 	"ngfix/internal/obs"
 	"ngfix/internal/vec"
+	"ngfix/internal/xrand"
 )
 
 // OnlineFixer is the production shape of the paper's core idea: "leverage
@@ -641,7 +641,7 @@ func (o *OnlineFixer) RunBackground(ctx context.Context, interval time.Duration,
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
 	}
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	rng := xrand.New()
 	fails := 0
 	timer := time.NewTimer(interval)
 	defer timer.Stop()

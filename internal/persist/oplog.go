@@ -167,32 +167,78 @@ func frameOp(op Op) ([]byte, error) {
 // from a record whose checksum verifies but whose payload cannot be
 // decoded — genuine corruption, not a torn write.
 func readLog(r io.Reader, fn func(Op) error) (int, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, 8)
-	le := binary.LittleEndian
+	sc := NewLogScanner(r, 0)
 	n := 0
-	for {
-		if _, err := io.ReadFull(br, head); err != nil {
-			return n, nil // clean EOF or torn header: end of usable log
-		}
-		length := le.Uint32(head)
-		if length > maxRecordBytes {
-			return n, nil // implausible frame: treat as corrupt tail
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return n, nil // torn payload
-		}
-		if crc32.Checksum(payload, crcTable) != le.Uint32(head[4:]) {
-			return n, nil // torn or bit-flipped record
-		}
-		op, err := decodeOp(payload)
-		if err != nil {
-			return n, err
-		}
-		if err := fn(op); err != nil {
+	for sc.Next() {
+		if err := fn(sc.Op()); err != nil {
 			return n, err
 		}
 		n++
 	}
+	return n, sc.Err()
 }
+
+// LogScanner streams intact op-log records from a reader, tracking the
+// byte offset just past the last complete record — the resume point a
+// WAL-tailing replica stores. A torn or incomplete tail (the normal
+// shape of a log still being appended to, or cut mid-ship) simply ends
+// the scan: the caller re-opens the stream at Offset() later and keeps
+// going. Only a record whose checksum verifies but whose payload cannot
+// be decoded — genuine corruption, not a torn write — surfaces as Err.
+type LogScanner struct {
+	br  *bufio.Reader
+	off int64
+	op  Op
+	err error
+}
+
+// NewLogScanner scans records from r. base is the byte offset of r's
+// first byte within the log file, so Offset() stays file-absolute when
+// resuming mid-log.
+func NewLogScanner(r io.Reader, base int64) *LogScanner {
+	return &LogScanner{br: bufio.NewReader(r), off: base}
+}
+
+// Next advances to the next intact record, reporting false at the end of
+// the usable stream (EOF, torn tail, or decode corruption — check Err to
+// tell the last from the first two).
+func (s *LogScanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	head := make([]byte, 8)
+	le := binary.LittleEndian
+	if _, err := io.ReadFull(s.br, head); err != nil {
+		return false // clean EOF or torn header: end of usable stream
+	}
+	length := le.Uint32(head)
+	if length > maxRecordBytes {
+		return false // implausible frame: treat as corrupt tail
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(s.br, payload); err != nil {
+		return false // torn payload
+	}
+	if crc32.Checksum(payload, crcTable) != le.Uint32(head[4:]) {
+		return false // torn or bit-flipped record
+	}
+	op, err := decodeOp(payload)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.op = op
+	s.off += int64(8 + len(payload))
+	return true
+}
+
+// Op returns the record Next last delivered.
+func (s *LogScanner) Op() Op { return s.op }
+
+// Offset returns the file-absolute byte offset just past the last intact
+// record — the safe resume point.
+func (s *LogScanner) Offset() int64 { return s.off }
+
+// Err reports genuine corruption (a checksummed record that failed to
+// decode); torn tails are not errors.
+func (s *LogScanner) Err() error { return s.err }

@@ -1,0 +1,223 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func openSealed(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Snapshot(testGraph(t, 12)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestReplicationStatusTracksAppends(t *testing.T) {
+	st := openSealed(t, t.TempDir())
+	if got := st.ReplicationStatus(); got.Generation != 1 || got.WALBytes != 0 || got.WALRecords != 0 {
+		t.Fatalf("fresh generation status = %+v", got)
+	}
+	if err := st.LogDelete(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogInsert([]float32{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	got := st.ReplicationStatus()
+	if got.WALRecords != 2 || got.WALBytes <= 0 {
+		t.Fatalf("status after two appends = %+v", got)
+	}
+	// The reported length must match the file exactly: a follower at
+	// offset WALBytes reading the log must land on a record boundary.
+	rc, err := st.OpenWAL(got.Generation, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	sc := NewLogScanner(rc, 0)
+	n := 0
+	for sc.Next() {
+		n++
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if n != got.WALRecords || sc.Offset() != got.WALBytes {
+		t.Fatalf("scan saw %d records / %d bytes, status says %d / %d",
+			n, sc.Offset(), got.WALRecords, got.WALBytes)
+	}
+}
+
+func TestOpenWALOffsetResume(t *testing.T) {
+	st := openSealed(t, t.TempDir())
+	for i := uint32(0); i < 5; i++ {
+		if err := st.LogDelete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read the first three records, note the offset, resume there and
+	// expect exactly the last two.
+	rc, err := st.OpenWAL(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewLogScanner(rc, 0)
+	for i := 0; i < 3; i++ {
+		if !sc.Next() {
+			t.Fatalf("record %d missing", i)
+		}
+	}
+	mid := sc.Offset()
+	rc.Close()
+
+	rc, err = st.OpenWAL(1, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	sc = NewLogScanner(rc, mid)
+	var ids []uint32
+	for sc.Next() {
+		ids = append(ids, sc.Op().ID)
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 4 {
+		t.Fatalf("resume from offset %d delivered %v, want [3 4]", mid, ids)
+	}
+	if sc.Offset() != st.ReplicationStatus().WALBytes {
+		t.Fatalf("resumed scan ended at %d, log is %d", sc.Offset(), st.ReplicationStatus().WALBytes)
+	}
+}
+
+func TestOpenWALGenerationGone(t *testing.T) {
+	st := openSealed(t, t.TempDir())
+	if err := st.LogDelete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Snapshot(testGraph(t, 12)); err != nil { // gen 1 → 2, gen-1 files deleted
+		t.Fatal(err)
+	}
+	if _, err := st.OpenWAL(1, 0); !errors.Is(err, ErrGenerationGone) {
+		t.Fatalf("stale generation: got %v, want ErrGenerationGone", err)
+	}
+	// An offset beyond the (fresh, empty) active log means the follower's
+	// position is ahead of anything the file can serve: unbridgeable.
+	if _, err := st.OpenWAL(2, 9999); !errors.Is(err, ErrGenerationGone) {
+		t.Fatalf("offset past end: got %v, want ErrGenerationGone", err)
+	}
+}
+
+func TestOpenWALTornTailStopsScan(t *testing.T) {
+	st := openSealed(t, t.TempDir())
+	if err := st.LogDelete(7); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := st.OpenWAL(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the stream at every possible byte boundary: a complete record
+	// must survive any cut past its end, and no cut may yield an error —
+	// a truncated tail is the normal shape of a log still being shipped.
+	for cut := 0; cut <= len(whole); cut++ {
+		sc := NewLogScanner(bytes.NewReader(whole[:cut]), 0)
+		n := 0
+		for sc.Next() {
+			n++
+		}
+		if sc.Err() != nil {
+			t.Fatalf("cut at %d: unexpected corruption error %v", cut, sc.Err())
+		}
+		want := 0
+		if cut == len(whole) {
+			want = 1
+		}
+		if n != want {
+			t.Fatalf("cut at %d: %d records, want %d", cut, n, want)
+		}
+		if want == 0 && sc.Offset() != 0 {
+			t.Fatalf("cut at %d: torn tail advanced offset to %d", cut, sc.Offset())
+		}
+	}
+}
+
+func TestOpenSnapshotRoundTrip(t *testing.T) {
+	st := openSealed(t, t.TempDir())
+	want := testGraph(t, 12)
+	gen, rc, err := st.OpenSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if gen != 1 {
+		t.Fatalf("generation %d, want 1", gen)
+	}
+	got, err := DecodeSnapshot(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, want, got)
+}
+
+func TestDecodeSnapshotRejectsTruncation(t *testing.T) {
+	st := openSealed(t, t.TempDir())
+	_, rc, err := st.OpenSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A transfer killed at any byte offset must fail loudly, never yield
+	// a short-but-plausible graph.
+	for _, cut := range []int{0, 5, snapHeaderLen, snapHeaderLen + 1, len(whole) / 2, len(whole) - 1} {
+		if _, err := DecodeSnapshot(bytes.NewReader(whole[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	if _, err := DecodeSnapshot(bytes.NewReader(whole)); err != nil {
+		t.Fatalf("intact stream failed: %v", err)
+	}
+	// A flipped payload bit must fail the checksum.
+	flipped := append([]byte(nil), whole...)
+	flipped[snapHeaderLen+3] ^= 0x40
+	if _, err := DecodeSnapshot(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("bit flip decoded successfully")
+	}
+}
+
+func TestScanGenerations(t *testing.T) {
+	dir := t.TempDir()
+	gens, err := ScanGenerations(nil, dir)
+	if err != nil || len(gens) != 0 {
+		t.Fatalf("empty dir: %v %v", gens, err)
+	}
+	st := openSealed(t, dir)
+	if err := st.Snapshot(testGraph(t, 12)); err != nil {
+		t.Fatal(err)
+	}
+	gens, err = ScanGenerations(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 || gens[0] != 2 {
+		t.Fatalf("generations = %v, want [2]", gens)
+	}
+}

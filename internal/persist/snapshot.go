@@ -94,6 +94,14 @@ func readSnapshotFile(fsys FS, path string) (*graph.Graph, error) {
 		return nil, err
 	}
 	defer rc.Close()
+	return DecodeSnapshot(rc)
+}
+
+// DecodeSnapshot reads and verifies one snapshot stream (header, checksum,
+// graph payload). A replica bootstrapping over the wire runs the shipped
+// bytes through this, so a transfer cut at any offset fails the checksum
+// or length check instead of yielding a silently short graph.
+func DecodeSnapshot(rc io.Reader) (*graph.Graph, error) {
 	head := make([]byte, snapHeaderLen)
 	if _, err := io.ReadFull(rc, head); err != nil {
 		return nil, fmt.Errorf("persist: read snapshot header: %w", err)

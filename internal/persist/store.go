@@ -62,10 +62,11 @@ type Store struct {
 	dir  string
 	sync bool
 
-	gens []uint64 // generations with a snapshot present, descending
-	gen  uint64   // active generation (0 = empty store)
-	log  File     // append handle for the active generation's op log
-	ops  int      // records appended to the active log
+	gens     []uint64 // generations with a snapshot present, descending
+	gen      uint64   // active generation (0 = empty store)
+	log      File     // append handle for the active generation's op log
+	ops      int      // records appended to the active log
+	logBytes int64    // bytes appended to the active log
 
 	logErr error // first append failure since the last good snapshot
 
@@ -240,6 +241,7 @@ func (s *Store) closeLogLocked() {
 func (s *Store) advanceLocked(newGen uint64) {
 	s.gen = newGen
 	s.ops = 0
+	s.logBytes = 0
 	// Best-effort cleanup of everything older than the new generation.
 	if names, err := s.fs.ReadDir(s.dir); err == nil {
 		for _, name := range names {
@@ -289,6 +291,7 @@ func (s *Store) Append(op Op) (err error) {
 		}
 	}
 	s.ops++
+	s.logBytes += int64(len(frame))
 	return nil
 }
 

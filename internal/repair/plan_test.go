@@ -18,11 +18,11 @@ func TestPlanHysteresis(t *testing.T) {
 	cfg := planCfg()
 	now := time.Now()
 	cases := []struct {
-		name  string
-		st    state
-		ewma  float64
-		want  Mode
-		next  time.Duration
+		name string
+		st   state
+		ewma float64
+		want Mode
+		next time.Duration
 	}{
 		{"below hi stays steady", state{mode: ModeSteady, modeSince: now}, cfg.ThetaHi - 0.01, ModeSteady, cfg.Interval},
 		{"at hi enters eager immediately", state{mode: ModeSteady, modeSince: now}, cfg.ThetaHi, ModeEager, cfg.EagerInterval},

@@ -47,6 +47,7 @@ import (
 
 	"ngfix/internal/admission"
 	"ngfix/internal/core"
+	"ngfix/internal/xrand"
 )
 
 // Mode is the controller's operating regime.
@@ -297,7 +298,7 @@ func (c *Controller) Run(ctx context.Context, initialDelay time.Duration, logf f
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
 	}
-	rng := rand.New(rand.NewSource(time.Now().UnixNano() + int64(c.shard)))
+	rng := xrand.NewOffset(int64(c.shard))
 	if initialDelay < 0 {
 		initialDelay = 0
 	}
@@ -542,7 +543,7 @@ func (f *Fleet) Controllers() []*Controller { return f.ctls }
 // batches in lockstep and spike latency together. Log lines are
 // prefixed with the shard.
 func (f *Fleet) Run(ctx context.Context, logf func(format string, args ...interface{})) {
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	rng := xrand.New()
 	n := len(f.ctls)
 	var wg sync.WaitGroup
 	for i, c := range f.ctls {

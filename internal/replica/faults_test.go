@@ -1,0 +1,166 @@
+package replica
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// cutSource wraps a Source and kills transfers at chosen byte offsets —
+// the wire-level fault surface: a snapshot ship dying mid-transfer, a
+// WAL read cut mid-record. Each entry in snapCuts / walCuts is consumed
+// by one call; -1 means deliver intact.
+type cutSource struct {
+	Source
+	mu       sync.Mutex
+	snapCuts []int
+	walCuts  []int
+}
+
+func (c *cutSource) nextCut(cuts *[]int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(*cuts) == 0 {
+		return -1
+	}
+	cut := (*cuts)[0]
+	*cuts = (*cuts)[1:]
+	return cut
+}
+
+func cutStream(rc io.ReadCloser, cut int) (io.ReadCloser, error) {
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cut > len(data) {
+		cut = len(data)
+	}
+	return io.NopCloser(bytes.NewReader(data[:cut])), nil
+}
+
+func (c *cutSource) Snapshot() (uint64, io.ReadCloser, error) {
+	gen, rc, err := c.Source.Snapshot()
+	if err != nil {
+		return gen, rc, err
+	}
+	cut := c.nextCut(&c.snapCuts)
+	if cut < 0 {
+		return gen, rc, nil
+	}
+	short, err := cutStream(rc, cut)
+	return gen, short, err
+}
+
+func (c *cutSource) WAL(gen uint64, offset int64) (io.ReadCloser, error) {
+	rc, err := c.Source.WAL(gen, offset)
+	if err != nil {
+		return nil, err
+	}
+	cut := c.nextCut(&c.walCuts)
+	if cut < 0 {
+		return rc, nil
+	}
+	return cutStream(rc, cut)
+}
+
+// remainingWALCuts reports how many injected WAL cuts are unconsumed.
+func (c *cutSource) remainingWALCuts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.walCuts)
+}
+
+// TestSnapshotShippingKilledAtArbitraryOffsets: every truncated ship
+// must fail the checksum and be retried — the replica must never serve a
+// graph decoded from a partial snapshot, and must converge once a
+// transfer completes.
+func TestSnapshotShippingKilledAtArbitraryOffsets(t *testing.T) {
+	l := newLeader(t, t.TempDir())
+	snapLen := int(mustSnapshotLen(t, l))
+	cuts := []int{0, 1, 19, 20, snapLen / 3, snapLen / 2, snapLen - 1}
+	src := &cutSource{Source: StoreSource{St: l.st}, snapCuts: cuts}
+	r := startReplica(t, src, Config{})
+
+	waitCaughtUp(t, r, l.st)
+	st := r.Status()
+	if st.TailErrors < int64(len(cuts)) {
+		t.Fatalf("only %d errors recorded for %d killed transfers", st.TailErrors, len(cuts))
+	}
+	graphsIdentical(t, l.fx.Index().G, replicaGraph(r))
+
+	// And the replica still tails normally afterwards.
+	l.mutate(t, 2)
+	waitCaughtUp(t, r, l.st)
+	graphsIdentical(t, l.fx.Index().G, replicaGraph(r))
+}
+
+func mustSnapshotLen(t *testing.T, l *leader) int64 {
+	t.Helper()
+	_, rc, err := l.st.OpenSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	n, err := io.Copy(io.Discard, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestWALTruncatedMidRecord: tail reads cut inside a record must apply
+// the intact prefix, resume from the record boundary, and converge with
+// no resync — a torn tail is an ordinary condition, not a gap.
+func TestWALTruncatedMidRecord(t *testing.T) {
+	l := newLeader(t, t.TempDir())
+	l.mutate(t, 0)
+	// Cuts chosen to land inside frames: a frame is 8 header bytes plus
+	// payload, so +3 / +5 / +13 from any record boundary split a record.
+	src := &cutSource{Source: StoreSource{St: l.st}, walCuts: []int{3, 5, 13, 0, 21, 1}}
+	r := startReplica(t, src, Config{})
+	waitCaughtUp(t, r, l.st)
+
+	for deadline := time.Now().Add(5 * time.Second); src.remainingWALCuts() > 0; {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d WAL cuts never consumed", src.remainingWALCuts())
+		}
+		l.mutate(t, 5)
+		waitCaughtUp(t, r, l.st)
+	}
+	l.mutate(t, 9)
+	waitCaughtUp(t, r, l.st)
+
+	st := r.Status()
+	if st.Resyncs != 0 {
+		t.Fatalf("torn WAL reads forced %d resyncs; they must resume from offset instead", st.Resyncs)
+	}
+	graphsIdentical(t, l.fx.Index().G, replicaGraph(r))
+}
+
+// TestDirSourceFollowsLeaderDir: the same-host deployment — a replica
+// following the leader's persistence directory through the filesystem —
+// bootstraps, tails, and resyncs across a generation bump.
+func TestDirSourceFollowsLeaderDir(t *testing.T) {
+	dir := t.TempDir()
+	l := newLeader(t, dir)
+	r := startReplica(t, DirSource{Dir: dir}, Config{})
+	l.mutate(t, 0)
+	waitCaughtUp(t, r, l.st)
+	graphsIdentical(t, l.fx.Index().G, replicaGraph(r))
+
+	// Leader restarts with a generation bump mid-tail: the old WAL file
+	// disappears from the directory and the replica must resync.
+	if err := l.fx.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	l.mutate(t, 4)
+	waitCaughtUp(t, r, l.st)
+	if st := r.Status(); st.Resyncs == 0 {
+		t.Fatalf("directory generation bump did not force a resync: %+v", st)
+	}
+	graphsIdentical(t, l.fx.Index().G, replicaGraph(r))
+}

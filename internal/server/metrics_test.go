@@ -67,6 +67,40 @@ func TestRetryAfterScalesWithPressure(t *testing.T) {
 	}
 }
 
+// TestRetryAfterSecondsTable pins the hint at every policy boundary:
+// missing/sub-second/fractional budgets, the pressure clamp edges, and
+// the exact point where the 120s cap starts to bite (30s × 4 = 120).
+func TestRetryAfterSecondsTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		timeout  time.Duration
+		pressure float64
+		want     int
+	}{
+		{"no budget, idle", 0, 0, 1},
+		{"no budget, full queue", 0, 1, 4},
+		{"no budget, negative pressure", 0, -1, 1},
+		{"no budget, overshoot pressure", 0, 2, 4},
+		{"sub-second budget rounds up", 500 * time.Millisecond, 0, 1},
+		{"sub-second budget, full queue", 500 * time.Millisecond, 1, 4},
+		{"fractional budget ceils to 2", 1500 * time.Millisecond, 0, 2},
+		{"half pressure", time.Second, 0.5, 3},         // ceil(1 × 2.5)
+		{"quarter pressure", 2 * time.Second, 0.25, 4}, // ceil(2 × 1.75)
+		{"cap boundary exact", 30 * time.Second, 1, maxRetryAfterSeconds},
+		{"just past cap boundary", 31 * time.Second, 1, maxRetryAfterSeconds},
+		{"base alone above cap", 200 * time.Second, 0, maxRetryAfterSeconds},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Server{SearchTimeout: tc.timeout}
+			if got := s.retryAfterSeconds(tc.pressure); got != tc.want {
+				t.Fatalf("retryAfterSeconds(timeout=%v, pressure=%v) = %d, want %d",
+					tc.timeout, tc.pressure, got, tc.want)
+			}
+		})
+	}
+}
+
 // TestMetricsEndpoint is the observability e2e: a fully wired server
 // (fixer telemetry, WAL, admission, slow-query log) serves traffic, and
 // /metrics must answer a valid Prometheus exposition whose search,

@@ -57,7 +57,9 @@ import (
 	"ngfix/internal/admission"
 	"ngfix/internal/core"
 	"ngfix/internal/obs"
+	"ngfix/internal/persist"
 	"ngfix/internal/repair"
+	"ngfix/internal/replica"
 	"ngfix/internal/shard"
 )
 
@@ -110,6 +112,17 @@ type Server struct {
 	// the query contended with, and /readyz reports controllers wedged on
 	// consecutive fix failures.
 	Repair *repair.Fleet
+	// Stores, when non-nil, are the per-shard persistence stores, which
+	// makes this server a replication leader: followers pull snapshots
+	// and WAL segments over /v1/replicate/*. Nil leaves those endpoints
+	// answering 501.
+	Stores []*persist.Store
+	// Replicas, when non-nil, are this server's own per-shard read
+	// replicas (the group must have them attached via SetReplicas too):
+	// /v1/stats gains a per-shard replica block, and /readyz downgrades
+	// "shard dark" to "degraded, serving from replica" when a wedged
+	// shard's reads are covered.
+	Replicas *replica.Set
 
 	ready     atomic.Bool
 	draining  atomic.Bool
@@ -144,6 +157,9 @@ func NewSharded(group *shard.Group) *Server {
 	s.mux.HandleFunc("/v1/purge", s.method(http.MethodPost, s.governed(maintenanceCost, s.handlePurge)))
 	s.mux.HandleFunc("/v1/snapshot", s.method(http.MethodPost, s.handleSnapshot))
 	s.mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))
+	s.mux.HandleFunc("/v1/replicate/status", s.method(http.MethodGet, s.handleReplicateStatus))
+	s.mux.HandleFunc("/v1/replicate/snapshot", s.method(http.MethodGet, s.handleReplicateSnapshot))
+	s.mux.HandleFunc("/v1/replicate/wal", s.method(http.MethodGet, s.handleReplicateWAL))
 	s.mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealthz))
 	s.mux.HandleFunc("/readyz", s.method(http.MethodGet, s.handleReadyz))
 	s.mux.HandleFunc("/metrics", s.method(http.MethodGet, s.handleMetrics))
@@ -324,6 +340,11 @@ type SearchResponse struct {
 	// overload pressure shrank it below the requested (or default) ef.
 	EFUsed  int  `json:"efUsed"`
 	Clamped bool `json:"clamped,omitempty"`
+	// Stale marks that at least one shard's slice of the answer came from
+	// a read replica instead of the primary (failover or follower serving):
+	// correct as of the replica's applied position, possibly behind the
+	// leader by its replication lag.
+	Stale bool `json:"stale,omitempty"`
 }
 
 // InsertRequest is the /v1/insert body.
@@ -437,6 +458,12 @@ type StatsResponse struct {
 	// Present when the adaptive repair controller is running.
 	RepairMode string          `json:"repairMode,omitempty"`
 	Repair     []repair.Status `json:"repair,omitempty"`
+	// Replica is the per-shard read-replica status — generation, applied
+	// position, lag against the leader, tail error/resync/failover
+	// counters. Present only when replicas are configured; a server
+	// without them keeps the exact response shape it had before
+	// replication existed.
+	Replica []replica.Status `json:"replica,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -496,7 +523,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	res, st := s.group.SearchCtx(ctx, req.Vector, k, ef, parallel)
+	res, st, stale := s.group.SearchStale(ctx, req.Vector, k, ef, parallel)
 	if st.Truncated {
 		s.truncated.Add(1)
 	}
@@ -524,7 +551,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := SearchResponse{
 		NDC: st.NDC, Truncated: st.Truncated,
-		EFUsed: ef, Clamped: clamped,
+		EFUsed: ef, Clamped: clamped, Stale: stale,
 		Results: make([]SearchHit, len(res)),
 	}
 	for i, h := range res {
@@ -667,6 +694,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		repairMode = s.Repair.Mode()
 		repairStatus = s.Repair.Status()
 	}
+	var replicaStatus []replica.Status
+	if s.Replicas != nil {
+		replicaStatus = s.Replicas.Statuses()
+	}
 	s.writeJSON(w, StatsResponse{
 		Vectors:      ost.Vectors,
 		Live:         ost.Live,
@@ -690,6 +721,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PerShard:          perShard,
 		RepairMode:        repairMode,
 		Repair:            repairStatus,
+		Replica:           replicaStatus,
 	})
 }
 
@@ -707,31 +739,57 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
 		return
 	}
+	// A shard in trouble is "dark" (503: stop routing here) unless a
+	// caught-up read replica covers it — then the server still answers
+	// every read, just possibly stale, and readyz reports 200 with the
+	// detail so operators see the degradation without losing the node.
 	if bad := s.group.DegradedShards(); len(bad) > 0 {
-		// Searches still work, but acknowledged writes may not survive a
-		// crash until a snapshot succeeds — stop routing traffic here.
-		msg := "durability degraded (WAL failing; snapshot to recover)"
-		if s.group.Shards() > 1 {
-			msg = fmt.Sprintf("durability degraded on shard(s) %v (WAL failing; snapshot to recover)", bad)
+		if uncovered := s.uncoveredShards(bad); len(uncovered) > 0 {
+			// Searches still work, but acknowledged writes may not survive a
+			// crash until a snapshot succeeds — stop routing traffic here.
+			msg := "durability degraded (WAL failing; snapshot to recover)"
+			if s.group.Shards() > 1 {
+				msg = fmt.Sprintf("durability degraded on shard(s) %v (WAL failing; snapshot to recover)", uncovered)
+			}
+			s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
+			return
 		}
-		s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "degraded, serving from replica: durability failing on shard(s) %v\n", bad)
 		return
 	}
 	if s.Repair != nil {
 		if bad := s.Repair.WedgedShards(); len(bad) > 0 {
-			// The index still answers, but repair signal is accumulating
-			// unapplied: the controller has failed several consecutive fix
-			// batches and is wedged on its retry schedule.
-			msg := "repair wedged in backoff (consecutive fix-batch failures)"
-			if s.group.Shards() > 1 {
-				msg = fmt.Sprintf("repair wedged in backoff on shard(s) %v (consecutive fix-batch failures)", bad)
+			if uncovered := s.uncoveredShards(bad); len(uncovered) > 0 {
+				// The index still answers, but repair signal is accumulating
+				// unapplied: the controller has failed several consecutive fix
+				// batches and is wedged on its retry schedule.
+				msg := "repair wedged in backoff (consecutive fix-batch failures)"
+				if s.group.Shards() > 1 {
+					msg = fmt.Sprintf("repair wedged in backoff on shard(s) %v (consecutive fix-batch failures)", uncovered)
+				}
+				s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
+				return
 			}
-			s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintf(w, "degraded, serving from replica: repair wedged on shard(s) %v\n", bad)
 			return
 		}
 	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+// uncoveredShards filters a list of troubled shards down to those no
+// ready read replica can serve — the ones that make the node dark.
+func (s *Server) uncoveredShards(bad []int) []int {
+	var uncovered []int
+	for _, sh := range bad {
+		if !s.group.ReplicaCovers(sh) {
+			uncovered = append(uncovered, sh)
+		}
+	}
+	return uncovered
 }
 
 func (s *Server) checkVector(v []float32) error {

@@ -4,14 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ngfix/internal/core"
 	"ngfix/internal/graph"
+	"ngfix/internal/xrand"
 )
 
 // Group fronts N shard-local fixers with the single-fixer surface the
@@ -25,6 +24,11 @@ import (
 type Group struct {
 	router Router
 	fixers []*core.OnlineFixer
+
+	// replicas/pol route reads around unhealthy or unresponsive
+	// primaries; see SetReplicas. Both are fixed at wiring time.
+	replicas []ReadReplica
+	pol      FailoverPolicy
 
 	// rr is the insert cursor. Routing inserts round-robin (rather than
 	// to the shortest shard) keeps placement lock-free: reading shard
@@ -103,13 +107,6 @@ func (g *Group) Pending() int {
 	return n
 }
 
-// shardHit is one shard's search answer in flight to the gather side.
-type shardHit struct {
-	shard int
-	res   []graph.Result
-	st    graph.Stats
-}
-
 // SearchCtx scatters the query to every shard and gathers a global
 // top-k. parallel bounds how many per-shard beams run at once — the
 // server passes the admission units the request was granted, so a
@@ -124,69 +121,8 @@ type shardHit struct {
 // have answered. Either way the caller gets a ranked partial answer
 // with Stats.Truncated reporting the quality loss.
 func (g *Group) SearchCtx(ctx context.Context, q []float32, k, ef int, parallel int) ([]graph.Result, graph.Stats) {
-	n := len(g.fixers)
-	if n == 1 {
-		// Fast path: no goroutines, no merge, no id mapping — bit-for-bit
-		// the unsharded search.
-		return g.fixers[0].SearchCtx(ctx, q, k, ef)
-	}
-	if parallel < 1 {
-		parallel = 1
-	}
-	if parallel > n {
-		parallel = n
-	}
-
-	sem := make(chan struct{}, parallel)
-	hits := make(chan shardHit, n) // buffered: stragglers never block after abandon
-	for s := 0; s < n; s++ {
-		go func(s int) {
-			sem <- struct{}{}
-			res, st := g.fixers[s].SearchCtx(ctx, q, k, ef)
-			<-sem
-			hits <- shardHit{shard: s, res: res, st: st}
-		}(s)
-	}
-
-	var (
-		merged []graph.Result
-		stats  graph.Stats
-	)
-	var done <-chan struct{}
-	if ctx != nil { // nil ctx never cancels, matching the fixer's contract
-		done = ctx.Done()
-	}
-	for received := 0; received < n; received++ {
-		select {
-		case h := <-hits:
-			for _, r := range h.res {
-				merged = append(merged, graph.Result{ID: g.router.Global(h.shard, r.ID), Dist: r.Dist})
-			}
-			stats.NDC += h.st.NDC
-			stats.Hops += h.st.Hops
-			stats.Truncated = stats.Truncated || h.st.Truncated
-		case <-done:
-			// Deadline expired mid-gather: answer with the shards that made
-			// it. The stragglers finish into the buffered channel and are
-			// garbage-collected with it.
-			stats.Truncated = true
-			received = n
-		}
-	}
-
-	// Global top-k: each shard's list is its local top-k, so the union
-	// contains the true global top-k. Ties break toward the lower global
-	// id to keep the one-shard and N-shard orders comparable in tests.
-	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Dist != merged[j].Dist {
-			return merged[i].Dist < merged[j].Dist
-		}
-		return merged[i].ID < merged[j].ID
-	})
-	if len(merged) > k {
-		merged = merged[:k]
-	}
-	return merged, stats
+	res, st, _ := g.SearchStale(ctx, q, k, ef, parallel)
+	return res, st
 }
 
 // InsertChecked routes the vector to the next shard in round-robin
@@ -368,7 +304,7 @@ func (g *Group) RunBackground(ctx context.Context, interval time.Duration, logf 
 		g.fixers[0].RunBackground(ctx, interval, logf)
 		return
 	}
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	rng := xrand.New()
 	n := len(g.fixers)
 	var wg sync.WaitGroup
 	for s, f := range g.fixers {

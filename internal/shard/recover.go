@@ -12,10 +12,14 @@ import (
 // tombstones, fix batches re-apply the exact extra-adjacency
 // replacements. It returns the number of ops replayed.
 func Replay(st *persist.Store, ix *core.Index) (int, error) {
-	return st.Replay(func(op persist.Op) error { return applyOp(ix, op) })
+	return st.Replay(func(op persist.Op) error { return ApplyOp(ix, op) })
 }
 
-func applyOp(ix *core.Index, op persist.Op) error {
+// ApplyOp applies one op-log record to ix — the shared replay primitive
+// behind crash recovery and WAL-tailing replicas. Insertion re-runs the
+// index's deterministic base-graph insert, so two indexes that start from
+// the same snapshot and apply the same op sequence end bit-identical.
+func ApplyOp(ix *core.Index, op persist.Op) error {
 	switch op.Kind {
 	case persist.OpInsert:
 		if len(op.Vector) != ix.G.Dim() {

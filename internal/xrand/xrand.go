@@ -1,0 +1,50 @@
+// Package xrand is the one place the serving stack seeds its jitter
+// RNGs. Production code gets the usual time-seeded source; tests pin the
+// seed process-wide and turn every staggered start, backoff jitter, and
+// fleet stagger deterministic — instead of each package hand-rolling
+// rand.New(rand.NewSource(time.Now().UnixNano())) copies that can never
+// be reproduced.
+//
+// These generators drive jitter only (stagger offsets, backoff spread).
+// They are not cryptographic and must never gate correctness.
+package xrand
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// pinned, when non-zero via Pin, replaces the wall-clock seed. Atomic so
+// racing goroutines constructing RNGs during a pinned test stay clean
+// under -race.
+var pinned atomic.Int64
+
+// New returns a jitter RNG seeded from the wall clock, or from the
+// pinned test seed when one is set.
+func New() *rand.Rand {
+	return NewOffset(0)
+}
+
+// NewOffset is New with a caller-chosen offset added to the seed —
+// per-shard loops pass their shard index so sibling RNGs constructed in
+// the same nanosecond (or under the same pinned seed) still produce
+// distinct streams.
+func NewOffset(off int64) *rand.Rand {
+	seed := pinned.Load()
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return rand.New(rand.NewSource(seed + off))
+}
+
+// Pin fixes the seed every subsequent New/NewOffset call uses and
+// returns a restore function — tests defer it to hand the wall clock
+// back. A zero seed is reserved for "unpinned" and maps to 1.
+func Pin(seed int64) (restore func()) {
+	if seed == 0 {
+		seed = 1
+	}
+	prev := pinned.Swap(seed)
+	return func() { pinned.Store(prev) }
+}
