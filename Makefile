@@ -2,7 +2,7 @@ GO ?= go
 
 # Packages with real concurrency (locks, goroutines, HTTP handlers) that
 # must stay clean under the race detector.
-RACE_PKGS = ./internal/core ./internal/server ./internal/persist ./internal/admission ./internal/obs ./internal/shard ./internal/repair ./internal/replica
+RACE_PKGS = ./internal/core ./internal/server ./internal/persist ./internal/admission ./internal/obs ./internal/shard ./internal/repair ./internal/replica ./internal/policy
 
 .PHONY: check vet build test race bench bench-go
 
@@ -26,12 +26,15 @@ test:
 # BENCHARGS=-short shrinks sizes and timing windows for CI.
 BENCHARGS ?=
 
-## bench: run the perf harness on this machine, writing BENCH_kernels.json
-## and BENCH_search.json. Each file contains both dispatch arms (scalar
-## and SIMD) measured in the same process — a before/after from one run.
+## bench: run the perf harness on this machine, writing BENCH_kernels.json,
+## BENCH_search.json, and BENCH_policy.json. The kernel/search files
+## contain both dispatch arms (scalar and SIMD) measured in the same
+## process — a before/after from one run; the policy file compares the
+## serving-policy arms against a recall-matched fixed-ef baseline.
 bench:
 	$(GO) run ./cmd/ngfix-bench -perf kernels -json BENCH_kernels.json $(BENCHARGS)
 	$(GO) run ./cmd/ngfix-bench -perf search -json BENCH_search.json $(BENCHARGS)
+	$(GO) run ./cmd/ngfix-bench -perf policy -json BENCH_policy.json $(BENCHARGS)
 
 ## bench-go: the stdlib testing benchmarks, unchanged.
 bench-go:

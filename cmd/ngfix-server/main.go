@@ -53,6 +53,7 @@ import (
 	"ngfix/internal/hnsw"
 	"ngfix/internal/obs"
 	"ngfix/internal/persist"
+	"ngfix/internal/policy"
 	"ngfix/internal/repair"
 	"ngfix/internal/replica"
 	"ngfix/internal/server"
@@ -93,6 +94,10 @@ func run(args []string) int {
 	queueDepth := fl.Int("queue-depth", 0, "bounded wait queue beyond capacity; excess requests get 429 (0 means 2x -max-inflight)")
 	searchTimeout := fl.Duration("search-timeout", 2*time.Second, "per-request compute budget; expired searches return partial results with truncated:true (0 disables)")
 	efFloor := fl.Int("ef-floor", 0, "minimum ef under queue pressure: effective ef shrinks toward this floor as the queue fills (0 disables degradation)")
+	adaptiveEF := fl.Bool("adaptive-ef", false, "pick each search's ef from its similarity to recent traffic (self-calibrating; explicit client ef becomes a ceiling)")
+	answerCacheSize := fl.Int("answer-cache-size", 0, "answer-cache capacity in entries for exactly-repeated queries (0 disables; invalidated on every mutation)")
+	augmentRate := fl.Float64("augment-rate", 0, "fraction of served queries that seed Gaussian-perturbed synthetic repair queries, 0..1 (0 disables)")
+	augmentSigma := fl.Float64("augment-sigma", 0.3, "expected perturbation norm for -augment-rate synthetic queries")
 	metricsOn := fl.Bool("metrics", true, "serve Prometheus metrics on GET /metrics")
 	slowQueryMS := fl.Int("slow-query-ms", 0, "log every search at or over this many milliseconds (0 disables the slow-query log)")
 	pprofOn := fl.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling data; enable only on trusted networks)")
@@ -307,6 +312,38 @@ func run(args []string) int {
 	}
 	s.SearchTimeout = *searchTimeout
 	s.EFFloor = *efFloor
+	if *adaptiveEF || *answerCacheSize > 0 || *augmentRate > 0 {
+		if *augmentRate < 0 || *augmentRate > 1 {
+			log.Printf("-augment-rate must be in 0..1, got %g", *augmentRate)
+			return 1
+		}
+		gm := ixs[0].G.Metric
+		var adaptive *policy.Adaptive
+		if *adaptiveEF {
+			// Calibration searches run sequentially within a shard fan-out
+			// (parallel 1): they are background work and should not steal
+			// cores from serving, which admission gating alone can't ensure.
+			adaptive = policy.NewAdaptive(group.Dim(), policy.AdaptiveConfig{Metric: gm, Seed: 11},
+				func(q []float32, k, ef int) []graph.Result {
+					res, _ := group.SearchCtx(context.Background(), q, k, ef, 1)
+					return res
+				})
+		}
+		augmenter := policy.NewAugmenter(policy.AugmentConfig{
+			Rate: *augmentRate, Sigma: *augmentSigma,
+			Normalize: gm == vec.Cosine, Seed: 13,
+		})
+		var acquire func() (func(), bool)
+		if s.Admission != nil {
+			adm := s.Admission
+			acquire = func() (func(), bool) { return adm.TryAcquire(adm.FixCost(1)) }
+		}
+		eng := policy.NewEngine(policy.NewCache(*answerCacheSize), adaptive, augmenter,
+			group.RecordSynthetic, acquire)
+		s.EnablePolicy(eng)
+		log.Printf("policy layer enabled: adaptive-ef=%v answer-cache-size=%d augment-rate=%g",
+			*adaptiveEF, *answerCacheSize, *augmentRate)
+	}
 	if reg != nil {
 		s.EnableMetrics(reg, shardRegs...) // also wires the admission controller's families
 	}

@@ -118,19 +118,77 @@ func CalibrateAdaptiveEF(ix *Index, history, calib *vec.Matrix, calibTruth [][]b
 	return a
 }
 
+// NewAdaptiveEF assembles a policy from pre-computed parts: a built
+// historical-query graph, the probe width, and the calibrated bands.
+// thresholds must be ascending with len(efs) == len(thresholds)+1. The
+// policy layer uses this to install freshly recalibrated policies
+// without rerunning CalibrateAdaptiveEF's builder internals.
+func NewAdaptiveEF(hist *graph.Graph, probeEF int, thresholds []float32, efs []int) *AdaptiveEF {
+	if probeEF <= 0 {
+		probeEF = 16
+	}
+	return &AdaptiveEF{
+		histIndex:  hist,
+		histSearch: graph.NewSearcher(hist),
+		probeEF:    probeEF,
+		thresholds: append([]float32(nil), thresholds...),
+		efs:        append([]int(nil), efs...),
+	}
+}
+
+// HistGraph exposes the historical-query index so concurrent callers
+// can build their own searchers over it (see EFForWith). Read-only.
+func (a *AdaptiveEF) HistGraph() *graph.Graph { return a.histIndex }
+
+// ProbeEF returns the probe search-list width — the NDC cost a caller
+// should account to each EFFor/EFForWith call.
+func (a *AdaptiveEF) ProbeEF() int { return a.probeEF }
+
 // probe returns the (approximate) distance from q to the nearest
 // historical query.
 func (a *AdaptiveEF) probe(q []float32) float32 {
-	res, _ := a.histSearch.SearchFrom(q, 1, a.probeEF, a.histIndex.EntryPoint)
+	return a.probeWith(a.histSearch, q)
+}
+
+// ProbeDistWith exposes the similarity probe through a caller-owned
+// searcher — calibration code paths need the raw distance, not the
+// bucketed ef.
+func (a *AdaptiveEF) ProbeDistWith(s *graph.Searcher, q []float32) float32 {
+	return a.probeWith(s, q)
+}
+
+func (a *AdaptiveEF) probeWith(s *graph.Searcher, q []float32) float32 {
+	res, _ := s.SearchFrom(q, 2, a.probeEF, a.histIndex.EntryPoint)
 	if len(res) == 0 {
 		return 0
+	}
+	// A recurring query finds *itself* in the historical index at the
+	// metric's self-distance. That match says nothing about difficulty —
+	// the bands were calibrated on distances between distinct queries
+	// (the history/calibration halves are disjoint), so an exact
+	// self-match would drop every repeated query into the easiest band
+	// no matter how hard it is. Skip it and read the runner-up.
+	if self := a.histIndex.Metric.Distance(q, q); res[0].Dist <= self && len(res) > 1 {
+		return res[1].Dist
 	}
 	return res[0].Dist
 }
 
-// EFFor returns the calibrated ef for a query.
+// EFFor returns the calibrated ef for a query. Not safe for concurrent
+// use — it shares one internal searcher; concurrent callers use
+// EFForWith with a searcher of their own.
 func (a *AdaptiveEF) EFFor(q []float32) int {
-	d := a.probe(q)
+	return a.efForDist(a.probe(q))
+}
+
+// EFForWith is EFFor probing through a caller-owned searcher (built
+// over HistGraph()), so any number of goroutines can classify queries
+// concurrently against the same immutable policy.
+func (a *AdaptiveEF) EFForWith(s *graph.Searcher, q []float32) int {
+	return a.efForDist(a.probeWith(s, q))
+}
+
+func (a *AdaptiveEF) efForDist(d float32) int {
 	for i, th := range a.thresholds {
 		if d <= th {
 			return a.efs[i]

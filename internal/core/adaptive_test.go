@@ -5,6 +5,7 @@ import (
 
 	"ngfix/internal/bruteforce"
 	"ngfix/internal/graph"
+	"ngfix/internal/hnsw"
 	"ngfix/internal/metrics"
 	"ngfix/internal/vec"
 )
@@ -92,5 +93,31 @@ func TestAdaptiveEFForMonotone(t *testing.T) {
 	// A historical query itself is maximally similar → first bucket.
 	if got := a.EFFor(d.History.Row(0)); got != efs[0] {
 		t.Fatalf("historical query got ef %d, want first bucket %d", got, efs[0])
+	}
+}
+
+func TestAdaptiveEFProbeSkipsSelfMatch(t *testing.T) {
+	// A recurring query finds *itself* in the historical index at the
+	// metric's self-distance. The probe must read the distance to the
+	// nearest distinct query instead, or every repeat of a hard query
+	// would be served with the easiest band's ef (the bands are
+	// calibrated on distances between distinct queries).
+	hist := vec.NewMatrix(0, 4)
+	hard := []float32{1, 0, 0, 0}
+	hist.Append(hard)
+	hist.Append([]float32{0, 1, 0, 0})
+	hist.Append([]float32{0, 0.9, 0.1, 0})
+	hist.Append([]float32{0, 0, 1, 0})
+	h := hnsw.Build(hist.Clone(), hnsw.Config{M: 4, EFConstruction: 20, Metric: vec.L2, Seed: 1})
+	a := NewAdaptiveEF(h.Bottom(), 8, []float32{0.5}, []int{20, 200})
+
+	// hard is in the index (self-distance 0) but its nearest distinct
+	// neighbor is √2 away: it must classify into the far band.
+	if ef := a.EFFor(hard); ef != 200 {
+		t.Fatalf("recurring hard query got ef %d, want 200", ef)
+	}
+	// A genuinely near (but distinct) query still classifies easy.
+	if ef := a.EFFor([]float32{0, 0.95, 0.05, 0}); ef != 20 {
+		t.Fatalf("near query got ef %d, want 20", ef)
 	}
 }

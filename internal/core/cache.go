@@ -1,52 +1,90 @@
 package core
 
 import (
-	"crypto/md5"
-	"encoding/binary"
 	"math"
 
 	"ngfix/internal/graph"
 )
 
 // AnswerCache is the §7 hash-table method for exactly-repeated queries:
-// queries are keyed by the MD5 of their raw float bits; hits return the
-// stored ground truth directly (≈9% of graph-search latency in the
-// paper's measurement), misses fall through to ANNS. It cannot generalize
-// to unseen queries and trades memory for latency — both caveats the
-// paper states.
+// queries are keyed by a hash of their raw float bits; hits return the
+// stored answer directly (≈9% of graph-search latency in the paper's
+// measurement), misses fall through to ANNS. It cannot generalize to
+// unseen queries and trades memory for latency — both caveats the paper
+// states.
+//
+// Keying uses a fast non-cryptographic hash (FNV-1a over the float32
+// bit patterns, one 32-bit word per lane) instead of MD5: the key is a
+// lookup accelerator, not an integrity check, and each entry stores its
+// full query vector so a hit is verified against the exact bits. A hash
+// collision therefore costs one extra comparison, never a wrong answer.
 type AnswerCache struct {
-	entries map[[md5.Size]byte][]graph.Result
+	entries map[uint64]cacheEntry
 	hits    int64
 	misses  int64
 }
 
-// NewAnswerCache returns an empty cache.
-func NewAnswerCache() *AnswerCache {
-	return &AnswerCache{entries: make(map[[md5.Size]byte][]graph.Result)}
+type cacheEntry struct {
+	q   []float32
+	res []graph.Result
 }
 
-func queryKey(q []float32) [md5.Size]byte {
-	buf := make([]byte, 4*len(q))
-	for i, v := range q {
-		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+// NewAnswerCache returns an empty cache.
+func NewAnswerCache() *AnswerCache {
+	return &AnswerCache{entries: make(map[uint64]cacheEntry)}
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// QueryKey hashes a query's exact float32 bit patterns (FNV-1a,
+// word-at-a-time). Exported for the policy layer, which shares the
+// keying scheme across its lock-striped segments.
+func QueryKey(q []float32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range q {
+		h ^= uint64(math.Float32bits(v))
+		h *= fnvPrime64
 	}
-	return md5.Sum(buf)
+	return h
+}
+
+// SameQuery reports whether two queries have identical float32 bit
+// patterns — the verification a keyed hit must pass before it is
+// trusted. NaN bit patterns compare equal to themselves (bit equality,
+// not float equality), matching the keying.
+func SameQuery(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Put stores the answer for q.
 func (c *AnswerCache) Put(q []float32, answer []graph.Result) {
-	c.entries[queryKey(q)] = append([]graph.Result(nil), answer...)
+	c.entries[QueryKey(q)] = cacheEntry{
+		q:   append([]float32(nil), q...),
+		res: append([]graph.Result(nil), answer...),
+	}
 }
 
-// Get returns the cached answer for q, if any.
+// Get returns the cached answer for q, if any. The stored key is
+// verified bit-for-bit, so a hash collision reads as a miss.
 func (c *AnswerCache) Get(q []float32) ([]graph.Result, bool) {
-	res, ok := c.entries[queryKey(q)]
-	if ok {
+	e, ok := c.entries[QueryKey(q)]
+	if ok && SameQuery(e.q, q) {
 		c.hits++
-	} else {
-		c.misses++
+		return e.res, true
 	}
-	return res, ok
+	c.misses++
+	return nil, false
 }
 
 // Len returns the number of cached queries.

@@ -90,6 +90,16 @@ type OnlineFixer struct {
 	// is set once at construction, so reads need no synchronization.
 	metrics *fixerMetrics
 
+	// mutationHook, when set, runs after every applied graph mutation
+	// (insert, effective delete, fix batch, purge) — after the mutation
+	// is visible to searches and before the call acknowledges to its
+	// caller, on the error paths too: a WAL append failure refuses the
+	// ack but the mutation is live in memory, so any cache keyed on the
+	// pre-mutation graph must still be invalidated. Stored atomically so
+	// SetMutationHook needs no lock; the hook must be cheap and must not
+	// call back into the fixer.
+	mutationHook atomic.Value // of func()
+
 	searchers sync.Pool
 }
 
@@ -186,6 +196,45 @@ func NewOnlineFixer(ix *Index, cfg OnlineConfig) *OnlineFixer {
 		o.metrics = newFixerMetrics(cfg.Metrics, o)
 	}
 	return o
+}
+
+// SetMutationHook installs fn to run after every applied graph mutation
+// (nil clears it). See the field comment for the exact contract; the
+// policy layer uses this to invalidate its answer cache so a hit is
+// never stale relative to the store.
+func (o *OnlineFixer) SetMutationHook(fn func()) {
+	if fn == nil {
+		fn = func() {}
+	}
+	o.mutationHook.Store(fn)
+}
+
+func (o *OnlineFixer) notifyMutation() {
+	if fn, _ := o.mutationHook.Load().(func()); fn != nil {
+		fn()
+	}
+}
+
+// RecordSynthetic appends synthetic queries (NGFix+ Gaussian
+// augmentation) to the pending repair buffer — but only while the
+// buffer has headroom (under half the batch size): synthetic signal
+// must never shed real recorded traffic, which is what a full buffer
+// does to its oldest rows. Returns how many rows were accepted.
+func (o *OnlineFixer) RecordSynthetic(qs *vec.Matrix) int {
+	if qs == nil || qs.Rows() == 0 {
+		return 0
+	}
+	o.qmu.Lock()
+	defer o.qmu.Unlock()
+	accepted := 0
+	for i := 0; i < qs.Rows(); i++ {
+		if o.pending.Rows() >= o.batchSize/2 {
+			break
+		}
+		o.pending.Append(qs.Row(i))
+		accepted++
+	}
+	return accepted
 }
 
 // Search serves one query (top-k, search list ef) and records it for a
@@ -478,6 +527,7 @@ func (o *OnlineFixer) FixPendingLimitChecked(max int) (FixReport, error) {
 		snap = o.wantSnapshotLocked()
 	}
 	o.mu.Unlock()
+	o.notifyMutation()
 	o.metrics.observeFix(rep)
 	if snap {
 		o.snapshotHoldingPmu() // failure already recorded in the counters
@@ -512,6 +562,9 @@ func (o *OnlineFixer) InsertChecked(v []float32) (uint32, error) {
 		snap = o.wantSnapshotLocked()
 	}
 	o.mu.Unlock()
+	// Invalidate before the ack either way: on the WAL-error path the
+	// caller is refused but the vector is already live in memory.
+	o.notifyMutation()
 	if snap {
 		o.snapshotHoldingPmu() // failure already recorded in the counters
 	}
@@ -550,6 +603,9 @@ func (o *OnlineFixer) DeleteChecked(id uint32) (bool, error) {
 		snap = o.wantSnapshotLocked()
 	}
 	o.mu.Unlock()
+	if changed {
+		o.notifyMutation()
+	}
 	if snap {
 		o.snapshotHoldingPmu() // failure already recorded in the counters
 	}
@@ -569,6 +625,7 @@ func (o *OnlineFixer) PurgeAndRepair(k, efTruth int) PurgeReport {
 	o.nvec.Store(int64(o.ix.G.Len()))
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
 	o.mu.Unlock()
+	o.notifyMutation()
 	if o.wal != nil && rep.Purged > 0 {
 		o.snapshotHoldingPmu()
 	}

@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -28,7 +31,12 @@ type SlowQuery struct {
 	// controller) — a slow search concurrent with eager repair is
 	// contending with fix batches for the write lock, and the line
 	// should say so.
-	Repair   string
+	Repair string
+	// Policy is the serving-path policy decision that shaped the query
+	// ("cache_hit" | "adaptive_ef" | "augmented", or "none" without a
+	// policy layer) — a slow line with policy=cache_hit points at cache
+	// contention, one with adaptive_ef at a miscalibrated band.
+	Policy   string
 	Duration time.Duration
 }
 
@@ -45,7 +53,7 @@ const (
 //
 // Line format (one line, stable key order, parseable as logfmt):
 //
-//	slow-query id=42 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=steady ndc=1234 hops=57 truncated=false clamped=true durMs=12.345
+//	slow-query id=42 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=steady policy=none ndc=1234 hops=57 truncated=false clamped=true durMs=12.345
 type SlowQueryLog struct {
 	// Threshold gates emission: only queries with Duration >= Threshold
 	// are logged. <= 0 disables the log.
@@ -54,6 +62,60 @@ type SlowQueryLog struct {
 	Logf func(format string, args ...interface{})
 
 	seq atomic.Uint64
+}
+
+// ParseSlowQuery parses one slow-query logfmt line (as emitted by
+// Observe, with or without a leading log prefix) back into a SlowQuery.
+// Lines from before the policy= field parse with Policy "none", so log
+// pipelines handle mixed-version fleets; unknown keys are rejected —
+// a typo'd dashboard query should fail loudly, not read zeros.
+func ParseSlowQuery(line string) (SlowQuery, error) {
+	i := strings.Index(line, "slow-query ")
+	if i < 0 {
+		return SlowQuery{}, fmt.Errorf("obs: not a slow-query line: %q", line)
+	}
+	q := SlowQuery{ClampedBy: ClampNone, Repair: "none", Policy: "none"}
+	for _, field := range strings.Fields(line[i+len("slow-query "):]) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return SlowQuery{}, fmt.Errorf("obs: malformed field %q", field)
+		}
+		var err error
+		switch key {
+		case "id":
+			q.ID, err = strconv.ParseUint(val, 10, 64)
+		case "k":
+			q.K, err = strconv.Atoi(val)
+		case "ef":
+			q.EF, err = strconv.Atoi(val)
+		case "efUsed":
+			q.EFUsed, err = strconv.Atoi(val)
+		case "ef_clamped_by":
+			q.ClampedBy = val
+		case "repair":
+			q.Repair = val
+		case "policy":
+			q.Policy = val
+		case "ndc":
+			q.NDC, err = strconv.ParseInt(val, 10, 64)
+		case "hops":
+			q.Hops, err = strconv.Atoi(val)
+		case "truncated":
+			q.Truncated, err = strconv.ParseBool(val)
+		case "clamped":
+			q.Clamped, err = strconv.ParseBool(val)
+		case "durMs":
+			var ms float64
+			ms, err = strconv.ParseFloat(val, 64)
+			q.Duration = time.Duration(ms * float64(time.Millisecond))
+		default:
+			return SlowQuery{}, fmt.Errorf("obs: unknown field %q", key)
+		}
+		if err != nil {
+			return SlowQuery{}, fmt.Errorf("obs: field %q: %v", field, err)
+		}
+	}
+	return q, nil
 }
 
 // NextID returns the next search sequence number — the id the serving
@@ -81,8 +143,12 @@ func (l *SlowQueryLog) Observe(q SlowQuery) bool {
 		if repair == "" {
 			repair = "none"
 		}
-		l.Logf("slow-query id=%d k=%d ef=%d efUsed=%d ef_clamped_by=%s repair=%s ndc=%d hops=%d truncated=%t clamped=%t durMs=%.3f",
-			q.ID, q.K, q.EF, q.EFUsed, by, repair, q.NDC, q.Hops, q.Truncated, q.Clamped,
+		policy := q.Policy
+		if policy == "" {
+			policy = "none"
+		}
+		l.Logf("slow-query id=%d k=%d ef=%d efUsed=%d ef_clamped_by=%s repair=%s policy=%s ndc=%d hops=%d truncated=%t clamped=%t durMs=%.3f",
+			q.ID, q.K, q.EF, q.EFUsed, by, repair, policy, q.NDC, q.Hops, q.Truncated, q.Clamped,
 			float64(q.Duration)/float64(time.Millisecond))
 	}
 	return true

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestParseSlowQueryRoundTrip renders SlowQuery values through Observe
+// and parses the lines back, table-driven over the policy attribution
+// values plus the legacy (pre-policy) line shape.
+func TestParseSlowQueryRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		q    SlowQuery
+		want string // expected Policy after the round trip
+	}{
+		{"none", SlowQuery{ID: 1, K: 10, EF: 100, EFUsed: 100, NDC: 500, Hops: 12, Duration: 15 * time.Millisecond}, "none"},
+		{"cache_hit", SlowQuery{ID: 2, K: 10, EF: 100, EFUsed: 100, Policy: "cache_hit", Duration: 15 * time.Millisecond}, "cache_hit"},
+		{"adaptive_ef", SlowQuery{ID: 3, K: 5, EF: 100, EFUsed: 40, Policy: "adaptive_ef", NDC: 321, Hops: 9, Clamped: true, ClampedBy: ClampBudget, Duration: 20 * time.Millisecond}, "adaptive_ef"},
+		{"augmented", SlowQuery{ID: 4, K: 10, EF: 64, EFUsed: 64, Policy: "augmented", Repair: "eager", Truncated: true, Duration: 11 * time.Millisecond}, "augmented"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var line string
+			l := &SlowQueryLog{Threshold: time.Millisecond, Logf: func(f string, a ...interface{}) {
+				line = fmt.Sprintf(f, a...)
+			}}
+			if !l.Observe(tc.q) {
+				t.Fatal("not observed")
+			}
+			got, err := ParseSlowQuery(line)
+			if err != nil {
+				t.Fatalf("ParseSlowQuery(%q): %v", line, err)
+			}
+			if got.Policy != tc.want {
+				t.Fatalf("Policy = %q, want %q", got.Policy, tc.want)
+			}
+			if got.ID != tc.q.ID || got.K != tc.q.K || got.EF != tc.q.EF || got.EFUsed != tc.q.EFUsed ||
+				got.NDC != tc.q.NDC || got.Hops != tc.q.Hops ||
+				got.Truncated != tc.q.Truncated || got.Clamped != tc.q.Clamped {
+				t.Fatalf("round trip drifted:\n got %+v\nwant %+v", got, tc.q)
+			}
+			if got.Duration != tc.q.Duration {
+				t.Fatalf("Duration = %v, want %v", got.Duration, tc.q.Duration)
+			}
+		})
+	}
+}
+
+func TestParseSlowQueryCompatAndErrors(t *testing.T) {
+	// Pre-policy line (mixed-version fleet): Policy defaults to "none".
+	legacy := "slow-query id=7 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=steady ndc=1234 hops=57 truncated=false clamped=true durMs=12.345"
+	q, err := ParseSlowQuery(legacy)
+	if err != nil {
+		t.Fatalf("legacy line: %v", err)
+	}
+	if q.Policy != "none" || q.Repair != "steady" || q.EFUsed != 80 {
+		t.Fatalf("legacy parse: %+v", q)
+	}
+	// A log-prefixed line still parses (Observe goes through log.Printf).
+	prefixed := "2026/08/07 12:00:00 " + legacy
+	if _, err := ParseSlowQuery(prefixed); err != nil {
+		t.Fatalf("prefixed line: %v", err)
+	}
+	for _, bad := range []string{
+		"not a slow query",
+		"slow-query id=7 k",                 // malformed field
+		"slow-query id=7 mystery=1",         // unknown key
+		"slow-query id=x k=10",              // bad integer
+		"slow-query id=7 truncated=perhaps", // bad bool
+		"slow-query id=7 durMs=two",         // bad float
+	} {
+		if _, err := ParseSlowQuery(bad); err == nil {
+			t.Fatalf("ParseSlowQuery(%q) accepted", bad)
+		}
+	}
+}

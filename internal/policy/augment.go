@@ -1,0 +1,121 @@
+package policy
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"ngfix/internal/core"
+	"ngfix/internal/vec"
+)
+
+// AugmentConfig controls Gaussian query augmentation (NGFix+ §7): a
+// sampled fraction of served queries is perturbed with zero-mean
+// Gaussian noise and fed into the fixers' historical sets, extending
+// the repaired region from the queries themselves to balls around them
+// — cold-start and drift insurance.
+type AugmentConfig struct {
+	// Rate is the fraction of served queries augmented (0..1).
+	Rate float64
+	// PerQuery is how many synthetic queries each sampled query spawns
+	// (default 2).
+	PerQuery int
+	// Sigma is the expected perturbation norm (default 0.3, the
+	// paper's best value on normalized embeddings).
+	Sigma float64
+	// Normalize re-normalizes synthetic queries (set when the corpus is
+	// unit-normalized, i.e. cosine metric).
+	Normalize bool
+	// Seed drives the sampling and noise deterministically.
+	Seed int64
+}
+
+func (c AugmentConfig) withDefaults() AugmentConfig {
+	if c.PerQuery <= 0 {
+		c.PerQuery = 2
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.3
+	}
+	return c
+}
+
+// Augmenter samples served queries and injects Gaussian-perturbed
+// copies into the repair pipeline. Injection goes through a sink
+// (shard.Group.RecordSynthetic) that only accepts rows while the
+// target fixer's buffer has headroom, so synthetic signal never sheds
+// real traffic — and the augmenter itself never takes admission units:
+// it rides on searches that already paid.
+type Augmenter struct {
+	cfg AugmentConfig
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	seqn int64
+
+	sampled  atomic.Int64
+	injected atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewAugmenter returns nil when rate <= 0 — callers treat a nil
+// *Augmenter as "augmentation off" (every method is nil-safe).
+func NewAugmenter(cfg AugmentConfig) *Augmenter {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	c := cfg.withDefaults()
+	return &Augmenter{cfg: c, rng: rand.New(rand.NewSource(c.Seed))}
+}
+
+// MaybeAugment rolls the sampling dice for one served query and, when
+// it hits, synthesizes the perturbed copies and hands them to sink.
+// sink returns how many rows it accepted (fixer-buffer headroom).
+// Returns true when the query was sampled — the request is then
+// attributed policy=augmented.
+func (a *Augmenter) MaybeAugment(q []float32, sink func(*vec.Matrix) int) bool {
+	if a == nil {
+		return false
+	}
+	a.mu.Lock()
+	hit := a.rng.Float64() < a.cfg.Rate
+	var seed int64
+	if hit {
+		a.seqn++
+		seed = a.cfg.Seed ^ a.seqn
+	}
+	a.mu.Unlock()
+	if !hit {
+		return false
+	}
+	a.sampled.Add(1)
+	m := vec.NewMatrix(0, len(q))
+	m.Append(q)
+	syn := core.AugmentQueries(m, a.cfg.PerQuery, a.cfg.Sigma, a.cfg.Normalize, seed)
+	accepted := sink(syn)
+	a.injected.Add(int64(accepted))
+	a.rejected.Add(int64(syn.Rows() - accepted))
+	return true
+}
+
+// AugmentStats is a point-in-time counter snapshot.
+type AugmentStats struct {
+	// Sampled counts served queries that rolled into augmentation;
+	// Injected counts synthetic rows the fixers accepted; Rejected
+	// counts rows refused for lack of buffer headroom.
+	Sampled  int64
+	Injected int64
+	Rejected int64
+}
+
+// Stats snapshots the counters.
+func (a *Augmenter) Stats() AugmentStats {
+	if a == nil {
+		return AugmentStats{}
+	}
+	return AugmentStats{
+		Sampled:  a.sampled.Load(),
+		Injected: a.injected.Load(),
+		Rejected: a.rejected.Load(),
+	}
+}

@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"ngfix/internal/vec"
+)
+
+func TestAugmenterOffAndNilSafe(t *testing.T) {
+	if a := NewAugmenter(AugmentConfig{Rate: 0}); a != nil {
+		t.Fatal("rate 0 did not disable augmentation")
+	}
+	var a *Augmenter
+	if a.MaybeAugment([]float32{1}, nil) {
+		t.Fatal("nil augmenter sampled")
+	}
+	if st := a.Stats(); st != (AugmentStats{}) {
+		t.Fatalf("nil stats: %+v", st)
+	}
+}
+
+func TestAugmenterInjectsThroughSink(t *testing.T) {
+	a := NewAugmenter(AugmentConfig{Rate: 1, PerQuery: 3, Sigma: 0.2, Seed: 5})
+	q := []float32{1, 0, 0, 0}
+
+	var rows int
+	sink := func(m *vec.Matrix) int {
+		rows = m.Rows()
+		if m.Dim() != len(q) {
+			t.Fatalf("synthetic dim %d, want %d", m.Dim(), len(q))
+		}
+		for i := 0; i < m.Rows(); i++ {
+			same := true
+			for j, v := range m.Row(i) {
+				if v != q[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("synthetic query identical to the original (no perturbation)")
+			}
+		}
+		return m.Rows() // full headroom
+	}
+	if !a.MaybeAugment(q, sink) {
+		t.Fatal("rate-1 augmenter did not sample")
+	}
+	if rows != 3 {
+		t.Fatalf("synthetic rows = %d, want PerQuery 3", rows)
+	}
+	if st := a.Stats(); st.Sampled != 1 || st.Injected != 3 || st.Rejected != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// A sink without headroom: the shortfall is counted as rejected, the
+	// query is still attributed as augmented (it was sampled).
+	if !a.MaybeAugment(q, func(m *vec.Matrix) int { return 1 }) {
+		t.Fatal("second sample missed at rate 1")
+	}
+	if st := a.Stats(); st.Injected != 4 || st.Rejected != 2 {
+		t.Fatalf("headroom stats: %+v", st)
+	}
+}
+
+func TestAugmenterNormalizes(t *testing.T) {
+	a := NewAugmenter(AugmentConfig{Rate: 1, PerQuery: 4, Sigma: 0.5, Normalize: true, Seed: 6})
+	q := []float32{0.6, 0.8, 0, 0}
+	a.MaybeAugment(q, func(m *vec.Matrix) int {
+		for i := 0; i < m.Rows(); i++ {
+			var n float64
+			for _, v := range m.Row(i) {
+				n += float64(v) * float64(v)
+			}
+			if math.Abs(math.Sqrt(n)-1) > 1e-4 {
+				t.Fatalf("synthetic row %d norm %.6f, want 1", i, math.Sqrt(n))
+			}
+		}
+		return m.Rows()
+	})
+}
+
+func TestAugmenterRespectsRate(t *testing.T) {
+	a := NewAugmenter(AugmentConfig{Rate: 0.25, Seed: 7})
+	q := []float32{1, 2}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if a.MaybeAugment(q, func(m *vec.Matrix) int { return m.Rows() }) {
+			hits++
+		}
+	}
+	if hits < 150 || hits > 350 {
+		t.Fatalf("rate 0.25 sampled %d/1000", hits)
+	}
+}

@@ -1,0 +1,85 @@
+package policy
+
+import (
+	"testing"
+
+	"ngfix/internal/graph"
+	"ngfix/internal/vec"
+)
+
+func TestEngineNilWhenAllOff(t *testing.T) {
+	if e := NewEngine(nil, nil, nil, nil, nil); e != nil {
+		t.Fatal("engine built with every policy off")
+	}
+	var e *Engine
+	if ef, probe, ok := e.ShapeEF([]float32{1}, 80, true); ef != 80 || probe != 0 || ok {
+		t.Fatalf("nil ShapeEF: %d %d %v", ef, probe, ok)
+	}
+	if e.AfterSearch([]float32{1}) {
+		t.Fatal("nil AfterSearch augmented")
+	}
+	if e.Cache() != nil || e.Adaptive() != nil || e.Augmenter() != nil {
+		t.Fatal("nil engine leaked a component")
+	}
+}
+
+// TestEngineShapeEFCeiling pins the min-composition contract: an
+// explicit client ef is a ceiling adaptive may lower but never raise; an
+// omitted (server-default) ef is replaced outright.
+func TestEngineShapeEFCeiling(t *testing.T) {
+	ix, d := testIndex(t)
+	a := adaptiveUnderTest(t, ix)
+	for i := 0; i < 40; i++ {
+		a.Record(d.History.Row(i))
+	}
+	if !a.MaybeRecalibrate(nil) {
+		t.Fatal("calibration failed")
+	}
+	e := NewEngine(nil, a, nil, nil, nil)
+
+	q := d.TestOOD.Row(0)
+	chosen, _, ok := a.EFFor(q)
+	if _, _, ok2 := e.ShapeEF(q, 1000, false); !ok || !ok2 {
+		t.Fatal("adaptive not consulted")
+	}
+	// Omitted ef: replaced with the calibrated choice even when larger.
+	if ef, _, _ := e.ShapeEF(q, 1000, false); ef != chosen {
+		t.Fatalf("default ef not replaced: got %d, adaptive %d", ef, chosen)
+	}
+	// Explicit ef below the calibrated choice: the ceiling holds.
+	if ef, _, _ := e.ShapeEF(q, chosen-1, true); ef != chosen-1 {
+		t.Fatalf("explicit ceiling raised: got %d, ceiling %d", ef, chosen-1)
+	}
+	// Explicit ef above: adaptive still lowers it.
+	if ef, _, _ := e.ShapeEF(q, chosen+100, true); ef != chosen {
+		t.Fatalf("explicit ef not lowered: got %d, adaptive %d", ef, chosen)
+	}
+}
+
+func TestEngineAfterSearchFeedsSink(t *testing.T) {
+	aug := NewAugmenter(AugmentConfig{Rate: 1, PerQuery: 2, Seed: 4})
+	var got int
+	e := NewEngine(nil, nil, aug, func(m *vec.Matrix) int { got += m.Rows(); return m.Rows() }, nil)
+	if !e.AfterSearch([]float32{1, 2, 3, 4}) {
+		t.Fatal("rate-1 engine did not augment")
+	}
+	if got != 2 {
+		t.Fatalf("sink rows = %d, want 2", got)
+	}
+}
+
+func TestEngineCacheOnly(t *testing.T) {
+	e := NewEngine(NewCache(8), nil, nil, nil, nil)
+	if e == nil || e.Cache() == nil {
+		t.Fatal("cache-only engine missing")
+	}
+	q := []float32{1, 2, 3}
+	gen := e.Cache().Generation()
+	e.Cache().Put(q, 1, 10, []graph.Result{{ID: 3}}, gen)
+	if _, ok := e.Cache().Get(q, 1, 10); !ok {
+		t.Fatal("cache-only engine cannot serve")
+	}
+	if ef, probe, ok := e.ShapeEF(q, 80, true); ef != 80 || probe != 0 || ok {
+		t.Fatal("ShapeEF active without adaptive")
+	}
+}

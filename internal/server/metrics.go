@@ -15,6 +15,7 @@ const (
 	outcomeTruncated = "truncated"
 	outcomeClamped   = "clamped"
 	outcomeShed      = "shed"
+	outcomeCacheHit  = "cache_hit"
 )
 
 // serverMetrics is the HTTP layer's telemetry: search latency split by
@@ -38,7 +39,7 @@ type serverMetrics struct {
 // assert every core/persist/admission family names its shard.
 func (s *Server) EnableMetrics(reg *obs.Registry, shardRegs ...*obs.Registry) {
 	m := &serverMetrics{searchSeconds: make(map[string]*obs.Histogram)}
-	for _, outcome := range []string{outcomeOK, outcomeTruncated, outcomeClamped, outcomeShed} {
+	for _, outcome := range []string{outcomeOK, outcomeTruncated, outcomeClamped, outcomeShed, outcomeCacheHit} {
 		m.searchSeconds[outcome] = reg.Histogram("ngfix_search_duration_seconds",
 			"End-to-end /v1/search latency (decode through response), by outcome.",
 			obs.DefLatencyBuckets, obs.Label{Name: "outcome", Value: outcome})
@@ -50,6 +51,14 @@ func (s *Server) EnableMetrics(reg *obs.Registry, shardRegs ...*obs.Registry) {
 		admReg := obs.NewRegistry(obs.Label{Name: "shard", Value: "all"})
 		s.Admission.RegisterMetrics(admReg)
 		regs = append(regs, admReg)
+	}
+	if s.policyEngine != nil {
+		// The policy engine is process-global (one cache, one calibration)
+		// like the admission limiter, so its families carry shard="all".
+		// EnablePolicy must therefore run before EnableMetrics.
+		polReg := obs.NewRegistry(obs.Label{Name: "shard", Value: "all"})
+		s.policyEngine.RegisterMetrics(polReg)
+		regs = append(regs, polReg)
 	}
 	s.metrics = m
 	s.metricsRegs = regs
