@@ -27,14 +27,17 @@ test:
 BENCHARGS ?=
 
 ## bench: run the perf harness on this machine, writing BENCH_kernels.json,
-## BENCH_search.json, and BENCH_policy.json. The kernel/search files
-## contain both dispatch arms (scalar and SIMD) measured in the same
-## process — a before/after from one run; the policy file compares the
-## serving-policy arms against a recall-matched fixed-ef baseline.
+## BENCH_search.json, BENCH_policy.json, and BENCH_pq.json. The
+## kernel/search files contain both dispatch arms (scalar and SIMD)
+## measured in the same process — a before/after from one run; the policy
+## file compares the serving-policy arms against a recall-matched fixed-ef
+## baseline; the pq file compares memory-tiered (PQ-ADC + exact rerank)
+## serving against full precision at matched efs.
 bench:
 	$(GO) run ./cmd/ngfix-bench -perf kernels -json BENCH_kernels.json $(BENCHARGS)
 	$(GO) run ./cmd/ngfix-bench -perf search -json BENCH_search.json $(BENCHARGS)
 	$(GO) run ./cmd/ngfix-bench -perf policy -json BENCH_policy.json $(BENCHARGS)
+	$(GO) run ./cmd/ngfix-bench -perf pq -json BENCH_pq.json $(BENCHARGS)
 
 ## bench-go: the stdlib testing benchmarks, unchanged.
 bench-go:

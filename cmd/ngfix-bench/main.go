@@ -6,15 +6,17 @@
 //	ngfix-bench [-scale S] [-out FILE] all
 //	ngfix-bench [-scale S] [-out FILE] fig8 fig12 table1 ...
 //	ngfix-bench -list
-//	ngfix-bench -perf kernels|search|policy [-json FILE] [-short]
+//	ngfix-bench -perf kernels|search|policy|pq [-json FILE] [-short]
 //
 // The -perf modes run the performance harness instead of a paper exhibit:
 // "kernels" micro-benchmarks the distance kernels on every dispatch arm,
 // "search" sweeps beam search end to end, "policy" measures the serving
 // policies (adaptive ef + answer cache) against a recall-matched fixed-ef
-// baseline on a repeat-heavy workload. All emit JSON (to -json FILE, or
-// stdout) with fixed-seed inputs; `make bench` drives them to produce
-// BENCH_kernels.json, BENCH_search.json, and BENCH_policy.json.
+// baseline on a repeat-heavy workload, "pq" compares memory-tiered
+// (PQ-ADC + exact rerank) serving against full precision at matched efs.
+// All emit JSON (to -json FILE, or stdout) with fixed-seed inputs;
+// `make bench` drives them to produce BENCH_kernels.json,
+// BENCH_search.json, BENCH_policy.json, and BENCH_pq.json.
 //
 // Scale multiplies the default dataset sizes (1.0 ≈ 8k base points); the
 // shapes the paper reports hold across scales, larger runs just sharpen
@@ -128,8 +130,18 @@ func runPerf(mode, jsonPath string, short bool) {
 			rep.EffectiveQPSSpeedup)
 		fmt.Fprintf(os.Stderr, "  adaptive NDC ratio at matched recall: %.2f\n", rep.AdaptiveNDCRatio)
 		report = rep
+	case "pq":
+		fmt.Fprintf(os.Stderr, "perf: memory-tiered serving macro-bench (short=%v)...\n", short)
+		rep, err := bench.RunPQBench(short)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "  resident vector-memory reduction: %.1fx\n", rep.ResidentReductionX)
+		fmt.Fprintf(os.Stderr, "  worst recall@10 loss at matched ef: %.2f pts\n", rep.MaxRecallLossPts)
+		report = rep
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -perf mode %q (have: kernels, search, policy)\n", mode)
+		fmt.Fprintf(os.Stderr, "unknown -perf mode %q (have: kernels, search, policy, pq)\n", mode)
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "  done in %s\n", time.Since(start).Round(time.Millisecond))

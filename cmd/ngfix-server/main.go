@@ -33,6 +33,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -41,6 +42,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -54,6 +56,7 @@ import (
 	"ngfix/internal/obs"
 	"ngfix/internal/persist"
 	"ngfix/internal/policy"
+	"ngfix/internal/pq"
 	"ngfix/internal/repair"
 	"ngfix/internal/replica"
 	"ngfix/internal/server"
@@ -89,6 +92,11 @@ func run(args []string) int {
 	snapEvery := fl.Int("snapshot-every", 8, "automatic snapshot every N fix batches (0 disables; needs -snapshot-dir)")
 	snapOps := fl.Int("snapshot-ops", 4096, "automatic snapshot every M inserts+deletes (0 disables; needs -snapshot-dir)")
 	oplog := fl.Bool("oplog", true, "journal inserts/deletes/fix batches between snapshots (needs -snapshot-dir)")
+	pqOn := fl.Bool("pq", false, "memory-tiered serving: navigate the graph on compressed PQ-ADC lookups and exact-rerank only the top candidates; snapshots persist the quantizer so recovery re-encodes instead of retraining")
+	pqM := fl.Int("pq-m", 0, "PQ subspace count (0 picks the largest of 2..8 dividing the dimension; errors on dimensions only 1 divides)")
+	pqKS := fl.Int("pq-ks", 64, "PQ centroids per subspace (max 256)")
+	pqRerank := fl.Int("pq-rerank", 4, "exact-rerank pool factor: each search reranks factor*k compressed candidates at full precision")
+	pqTier := fl.Bool("pq-tier", true, "with -pq and -snapshot-dir: demote the full rerank vectors to an mmap'd per-shard tier file (page cache instead of heap); without a snapshot dir reranks read the in-heap matrix")
 	drainTimeout := fl.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	maxInflight := fl.Int("max-inflight", 64, "admission capacity in cost units (a search costs ~ef/100, rounded up; 0 disables admission control)")
 	queueDepth := fl.Int("queue-depth", 0, "bounded wait queue beyond capacity; excess requests get 429 (0 means 2x -max-inflight)")
@@ -229,18 +237,10 @@ func run(args []string) int {
 		return 1
 	}
 
-	// Seal startup state into a fresh generation per shard: recovery
-	// never appends to a log that might end in a torn record, and a
-	// fresh dir gets its first durable snapshot before serving a single
-	// request.
 	fixers := make([]*core.OnlineFixer, len(ixs))
 	for i, ix := range ixs {
 		var wal core.WAL
 		if len(stores) > 0 {
-			if err := stores[i].Snapshot(ix.G); err != nil {
-				log.Printf("shard %d: initial snapshot: %v", i, err)
-				return 1
-			}
 			if *oplog {
 				wal = stores[i]
 			} else {
@@ -256,6 +256,58 @@ func run(args []string) int {
 	}
 	if len(stores) > 0 && !*oplog {
 		log.Print("op log disabled (-oplog=false): mutations between snapshots will not survive a crash")
+	}
+
+	// Compressed serving: prefer the recovered sidecar (attach re-encodes
+	// only the WAL-replayed tail against the frozen codebooks — codes stay
+	// bit-identical across the crash); train only when no generation has
+	// one or the sidecar cannot describe the recovered graph.
+	if *pqOn {
+		for i, f := range fixers {
+			pcfg := core.PQConfig{M: *pqM, KS: *pqKS, RerankFactor: *pqRerank}
+			if len(stores) > 0 && *pqTier {
+				pcfg.TierPath = filepath.Join(stores[i].Dir(), "vectors.tier")
+			}
+			attached := false
+			if recovered {
+				switch q, err := stores[i].LoadPQ(); {
+				case err == nil:
+					if aerr := f.AttachPQ(q, pcfg); aerr != nil {
+						log.Printf("shard %d: pq sidecar rejected (%v); retraining", i, aerr)
+					} else {
+						attached = true
+					}
+				case errors.Is(err, persist.ErrNoPQ):
+					// Sealed without PQ — train below.
+				default:
+					log.Printf("shard %d: pq sidecar unreadable (%v); retraining", i, err)
+				}
+			}
+			if !attached {
+				if err := f.EnablePQ(pcfg); err != nil {
+					log.Printf("shard %d: enable pq: %v", i, err)
+					return 1
+				}
+			}
+			st, _ := f.PQStats()
+			log.Printf("shard %d: pq serving %s (m=%d ks=%d rerank=%dx): resident %d bytes vs %d full-precision",
+				i, map[bool]string{true: "recovered", false: "trained"}[attached],
+				st.M, st.KS, st.Rerank, st.ResidentBytes, st.FullVectorBytes)
+		}
+	}
+
+	// Seal startup state into a fresh generation per shard: recovery
+	// never appends to a log that might end in a torn record, and a
+	// fresh dir gets its first durable snapshot before serving a single
+	// request. Sealing after PQ enable means the first generation already
+	// carries the quantizer sidecar.
+	if len(stores) > 0 {
+		for i, f := range fixers {
+			if err := f.Snapshot(); err != nil {
+				log.Printf("shard %d: initial snapshot: %v", i, err)
+				return 1
+			}
+		}
 	}
 	group, err := shard.NewGroup(fixers)
 	if err != nil {
@@ -597,6 +649,9 @@ func (snapshotOnly) LogInsert(v []float32) error                   { return nil 
 func (snapshotOnly) LogDelete(id uint32) error                     { return nil }
 func (snapshotOnly) LogFixEdges(updates []graph.ExtraUpdate) error { return nil }
 func (s snapshotOnly) Snapshot(g *graph.Graph) error               { return s.st.Snapshot(g) }
+func (s snapshotOnly) SnapshotPQ(g *graph.Graph, q *pq.Quantizer) error {
+	return s.st.SnapshotPQ(g, q)
+}
 
 func parseMetric(s string) (vec.Metric, error) {
 	switch strings.ToLower(s) {

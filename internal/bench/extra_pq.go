@@ -18,13 +18,11 @@ func ExtraPQ(s dataset.Scale) []Table {
 	f := GetFixture(cfg)
 	ix, _, _ := BuildNGFix(f, 0, defaultOptions())
 
-	q, err := pq.Train(f.D.Base, pq.DefaultConfig(f.D.Base.Dim()))
+	// DefaultOrScalarConfig carries the documented M=1 fallback for
+	// dimensions PQ can't split, so the bench runs on any dataset shape.
+	q, err := pq.Train(f.D.Base, pq.DefaultOrScalarConfig(f.D.Base.Dim()))
 	if err != nil {
-		// Dimension not divisible — fall back to M=1 (still valid).
-		q, err = pq.Train(f.D.Base, pq.Config{M: 1, KS: 64, Iters: 8, Seed: 23})
-		if err != nil {
-			panic(err)
-		}
+		panic(err)
 	}
 
 	t := Table{

@@ -1,0 +1,194 @@
+package bench
+
+// PQ macro-benchmark behind `make bench` (BENCH_pq.json): memory-tiered
+// serving measured against full-precision serving on the same graph,
+// query set, and ground truth at matched efs. The full-precision arm is
+// the plain beam searcher over in-heap vectors; the PQ arm navigates on
+// ADC table lookups over byte codes and exact-reranks the top 4·k
+// candidates from an mmap'd vector tier — the cmd/ngfix-server -pq
+// serving path, minus HTTP.
+//
+// The headline numbers are ResidentReductionX (full-precision resident
+// vector bytes over the PQ arm's codes + codebooks + tier tail) and
+// MaxRecallLossPts (the worst recall@10 gap across the shared ef sweep,
+// in points) — the "compress the serving path, keep the answers" claim.
+
+import (
+	"os"
+	"path/filepath"
+
+	"ngfix/internal/bruteforce"
+	"ngfix/internal/dataset"
+	"ngfix/internal/graph"
+	"ngfix/internal/hnsw"
+	"ngfix/internal/metrics"
+	"ngfix/internal/pq"
+)
+
+// PQPoint is one ef operating point of one arm.
+type PQPoint struct {
+	EF       int     `json:"ef"`
+	Recall   float64 `json:"recall_at_10"`
+	QPS      float64 `json:"qps"`
+	NDC      float64 `json:"ndc_per_query"`           // full-precision distance evaluations
+	ADC      float64 `json:"adc_per_query,omitempty"` // compressed-domain lookups (PQ arm only)
+	LatP50US float64 `json:"lat_p50_us"`
+	LatP99US float64 `json:"lat_p99_us"`
+}
+
+// PQArm is one serving configuration's sweep plus its resident-memory
+// footprint: what must stay in heap to serve a search.
+type PQArm struct {
+	Arm           string    `json:"arm"` // "full_precision" | "pq_adc_rerank"
+	ResidentBytes int64     `json:"resident_vector_bytes"`
+	Points        []PQPoint `json:"points"`
+}
+
+// PQReport is the BENCH_pq.json payload.
+type PQReport struct {
+	Env     PerfEnv `json:"env"`
+	Dataset string  `json:"dataset"`
+	NBase   int     `json:"n_base"`
+	NQuery  int     `json:"n_query"`
+	Dim     int     `json:"dim"`
+	K       int     `json:"k"`
+
+	// Quantizer shape: M byte codes per vector, KS centroids per
+	// subspace, Rerank full-precision candidates per search.
+	M             int   `json:"pq_m"`
+	KS            int   `json:"pq_ks"`
+	Rerank        int   `json:"rerank"`
+	CodeBytes     int64 `json:"code_bytes"`
+	CodebookBytes int64 `json:"codebook_bytes"`
+	// TierResidentBytes is the in-heap share of the mmap'd vector tier
+	// (0: every full-precision row is served from the page cache).
+	TierResidentBytes int64 `json:"tier_resident_bytes"`
+
+	Arms []PQArm `json:"arms"`
+
+	// ResidentReductionX = full-precision resident bytes / PQ resident
+	// bytes (codes + codebooks + tier tail).
+	ResidentReductionX float64 `json:"resident_reduction_x"`
+	// MaxRecallLossPts is the largest full-minus-PQ recall@10 gap across
+	// the shared ef sweep, in points (negative: PQ never lost recall).
+	MaxRecallLossPts float64 `json:"max_recall_loss_pts"`
+	// NDCRatio compares mean full-precision distance evaluations per
+	// query across the sweep (PQ / full) — the work the rerank pays vs
+	// what navigation used to cost.
+	NDCRatio float64 `json:"ndc_ratio"`
+}
+
+// RunPQBench builds the same base graph and ground truth as the search
+// macro-bench, trains a product quantizer on the base vectors, demotes
+// the full-precision rows to an mmap'd tier file, and sweeps both arms
+// over the OOD queries at identical efs.
+func RunPQBench(short bool) (PQReport, error) {
+	scale := dataset.Scale(1.0)
+	efs := []int{10, 20, 40, 80, 160}
+	if short {
+		// Half scale, not the quarter scale the other short benches use:
+		// the codebooks are a fixed-size cost, and at 2k base rows they
+		// drown the per-vector savings the headline ratio measures.
+		scale = dataset.Scale(0.5)
+		efs = []int{10, 40}
+	}
+	cfg := dataset.TextToImage(scale)
+	d := dataset.Generate(cfg)
+	g := hnsw.Build(d.Base, hnswConfig(cfg.Metric)).Bottom()
+	gt := bruteforce.AllKNN(d.Base, d.TestOOD, cfg.Metric, K)
+
+	// Denser-than-default quantizer: the serving claim is "≤3 pts recall
+	// loss at matched ef", and the default M=8/KS=64 codebook misranks
+	// enough of the ADC pool to plateau well below the full-precision
+	// curve — the rerank can't recover a neighbor navigation never put in
+	// the pool. Two dims per subspace at the full byte range keeps the
+	// ranking sharp; vectors still shrink dim·4/M = 8x before codebooks.
+	pcfg := pq.Config{M: d.Base.Dim() / 2, KS: 256, Iters: 8, Seed: 23}
+	q, err := pq.Train(d.Base, pcfg)
+	if err != nil {
+		return PQReport{}, err
+	}
+
+	// Demote the rerank vectors the way the server does with -pq-tier:
+	// base rows in an mmap'd file, nothing resident.
+	dir, err := os.MkdirTemp("", "ngfix-bench-pq")
+	if err != nil {
+		return PQReport{}, err
+	}
+	defer os.RemoveAll(dir)
+	tierPath := filepath.Join(dir, "vectors.tier")
+	if err := pq.WriteTierFile(tierPath, d.Base); err != nil {
+		return PQReport{}, err
+	}
+	tier, err := pq.OpenFileTier(tierPath)
+	if err != nil {
+		return PQReport{}, err
+	}
+	defer tier.Close()
+
+	rerank := 4 * K
+	rep := PQReport{
+		Env:     perfEnv(short),
+		Dataset: cfg.Name,
+		NBase:   d.Base.Rows(),
+		NQuery:  d.TestOOD.Rows(),
+		Dim:     d.Base.Dim(),
+		K:       K,
+		M:       q.M(), KS: q.Config().KS, Rerank: rerank,
+		CodeBytes:         int64(q.CodeBytes()),
+		CodebookBytes:     int64(q.CodebookBytes()),
+		TierResidentBytes: tier.ResidentBytes(),
+	}
+
+	exact := graph.NewSearcher(g)
+	fused := pq.NewGraphSearcher(g, q)
+	fused.Rerank = rerank
+	fused.Tier = tier
+
+	fullResident := int64(d.Base.Rows()) * int64(d.Base.Dim()) * 4
+	pqResident := rep.CodeBytes + rep.CodebookBytes + rep.TierResidentBytes
+
+	fullArm := PQArm{Arm: "full_precision", ResidentBytes: fullResident}
+	pqArm := PQArm{Arm: "pq_adc_rerank", ResidentBytes: pqResident}
+
+	// One ef at a time so the PQ arm's ADC lookups can be attributed to
+	// their operating point (SweepFunc only aggregates NDC).
+	var fullNDC, pqNDC float64
+	for _, ef := range efs {
+		sc := metrics.SweepConfig{K: K, EFs: []int{ef}, Queries: d.TestOOD, Truth: gt}
+
+		p := metrics.SweepFunc(exact.Search, sc)[0]
+		fullArm.Points = append(fullArm.Points, PQPoint{
+			EF: ef, Recall: p.Recall, QPS: p.QPS, NDC: p.NDC,
+			LatP50US: p.LatP50US, LatP99US: p.LatP99US,
+		})
+		fullNDC += p.NDC
+
+		var adc int64
+		p = metrics.SweepFunc(func(query []float32, k, ef int) ([]graph.Result, graph.Stats) {
+			res, st := fused.Search(query, k, ef)
+			adc += st.ADCLookups
+			return res, st
+		}, sc)[0]
+		pqArm.Points = append(pqArm.Points, PQPoint{
+			EF: ef, Recall: p.Recall, QPS: p.QPS, NDC: p.NDC,
+			ADC:      float64(adc) / float64(d.TestOOD.Rows()),
+			LatP50US: p.LatP50US, LatP99US: p.LatP99US,
+		})
+		pqNDC += p.NDC
+	}
+	rep.Arms = []PQArm{fullArm, pqArm}
+
+	if pqResident > 0 {
+		rep.ResidentReductionX = float64(fullResident) / float64(pqResident)
+	}
+	for i := range fullArm.Points {
+		if loss := (fullArm.Points[i].Recall - pqArm.Points[i].Recall) * 100; i == 0 || loss > rep.MaxRecallLossPts {
+			rep.MaxRecallLossPts = loss
+		}
+	}
+	if fullNDC > 0 {
+		rep.NDCRatio = pqNDC / fullNDC
+	}
+	return rep, nil
+}

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestRunPQBenchShort pins the memory-tiered serving headline on the CI
+// (short) configuration: the compressed arm must hold at least a 4x
+// resident-memory reduction while losing no more than 3 recall points at
+// any matched ef — the acceptance bar the committed BENCH_pq.json claims
+// at full scale.
+func TestRunPQBenchShort(t *testing.T) {
+	rep, err := RunPQBench(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Arms) != 2 || len(rep.Arms[0].Points) != len(rep.Arms[1].Points) {
+		t.Fatalf("arms out of shape: %+v", rep.Arms)
+	}
+	for i, p := range rep.Arms[0].Points {
+		if q := rep.Arms[1].Points[i]; q.EF != p.EF {
+			t.Fatalf("ef mismatch at point %d: full %d vs pq %d", i, p.EF, q.EF)
+		}
+	}
+	if rep.ResidentReductionX < 4 {
+		t.Fatalf("resident reduction %.2fx, want >= 4x", rep.ResidentReductionX)
+	}
+	if rep.MaxRecallLossPts > 3 {
+		t.Fatalf("worst recall loss %.2f pts, want <= 3", rep.MaxRecallLossPts)
+	}
+	pqArm := rep.Arms[1]
+	for _, p := range pqArm.Points {
+		if p.ADC == 0 {
+			t.Fatalf("pq arm point ef=%d reports no ADC work", p.EF)
+		}
+		if p.NDC > float64(rep.Rerank) {
+			t.Fatalf("pq arm ef=%d paid %f full-precision distances, rerank bound is %d", p.EF, p.NDC, rep.Rerank)
+		}
+	}
+}

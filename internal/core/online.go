@@ -89,6 +89,14 @@ type OnlineFixer struct {
 	// metrics is nil unless OnlineConfig.Metrics supplied a registry; it
 	// is set once at construction, so reads need no synchronization.
 	metrics *fixerMetrics
+	// reg keeps the registry itself so PQ serving, enabled after
+	// construction, can register its own families (see pqserve.go).
+	reg *obs.Registry
+
+	// pqs is nil until EnablePQ/AttachPQ switches serving to the fused
+	// compressed path. Written once under pmu+mu; read under mu.RLock on
+	// the search path and under pmu on the snapshot path.
+	pqs *pqState
 
 	// mutationHook, when set, runs after every applied graph mutation
 	// (insert, effective delete, fix batch, purge) — after the mutation
@@ -189,6 +197,7 @@ func NewOnlineFixer(ix *Index, cfg OnlineConfig) *OnlineFixer {
 		snapBatches: cfg.SnapshotEveryBatches,
 		snapMuts:    cfg.SnapshotEveryMutations,
 		dim:         ix.G.Dim(),
+		reg:         cfg.Metrics,
 	}
 	o.nvec.Store(int64(ix.G.Len()))
 	o.searchers.New = func() interface{} { return graph.NewSearcher(ix.G) }
@@ -253,10 +262,21 @@ func (o *OnlineFixer) Search(q []float32, k, ef int) ([]graph.Result, graph.Stat
 // regardless of how much of its search the client waited for.
 func (o *OnlineFixer) SearchCtx(ctx context.Context, q []float32, k, ef int) ([]graph.Result, graph.Stats) {
 	o.mu.RLock()
-	s := o.searchers.Get().(*graph.Searcher)
-	res, st := s.SearchFromCtx(ctx, q, k, ef, o.ix.G.EntryPoint)
-	o.searchers.Put(s)
-	o.mu.RUnlock()
+	var res []graph.Result
+	var st graph.Stats
+	if ps := o.pqs; ps != nil {
+		// Fused path: navigate on ADC table lookups over the codes, touch
+		// full-precision rows only for the exact rerank. Stats carry the
+		// navigation work in ADCLookups and just the rerank in NDC.
+		res, st = o.searchPQLocked(ctx, ps, q, k, ef)
+		o.mu.RUnlock()
+		ps.observe(st)
+	} else {
+		s := o.searchers.Get().(*graph.Searcher)
+		res, st = s.SearchFromCtx(ctx, q, k, ef, o.ix.G.EntryPoint)
+		o.searchers.Put(s)
+		o.mu.RUnlock()
+	}
 	o.metrics.observeSearch(st.NDC, st.Hops)
 
 	// Recording takes only the small query-buffer mutex: concurrent
@@ -485,8 +505,10 @@ func (o *OnlineFixer) FixPendingLimitChecked(max int) (FixReport, error) {
 	o.qmu.Unlock()
 
 	// Approximate truth under the read lock (concurrent with searches).
+	// With PQ enabled it runs through the fused searchers too — fixing on
+	// the compressed graph instead of faulting the full working set in.
 	o.mu.RLock()
-	truth := o.ix.ApproxTruth(batch, o.truthK, o.prepEF)
+	truth := o.approxTruthLocked(batch, o.truthK, o.prepEF)
 	o.mu.RUnlock()
 
 	o.pmu.Lock()
@@ -508,6 +530,7 @@ func (o *OnlineFixer) FixPendingLimitChecked(max int) (FixReport, error) {
 	}
 	// Graph structure changed: drop pooled searchers bound to stale sizes.
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
+	o.resetPQSearchersLocked()
 	var err error
 	snap := false
 	if o.wal != nil {
@@ -552,7 +575,11 @@ func (o *OnlineFixer) InsertChecked(v []float32) (uint32, error) {
 	o.mu.Lock()
 	id := o.ix.Insert(v)
 	o.nvec.Store(int64(o.ix.G.Len()))
+	// Encode against the frozen codebooks (training never reruns online)
+	// so the compressed view stays in step with the graph row it mirrors.
+	o.pqAppendLocked(v)
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
+	o.resetPQSearchersLocked()
 	var err error
 	snap := false
 	if o.wal != nil {
@@ -623,7 +650,10 @@ func (o *OnlineFixer) PurgeAndRepair(k, efTruth int) PurgeReport {
 	o.mu.Lock()
 	rep := o.ix.PurgeAndRepair(k, efTruth)
 	o.nvec.Store(int64(o.ix.G.Len()))
+	// Purge keeps row ids stable (no compaction), so the PQ codes remain
+	// aligned with the graph; only the pooled searchers need refreshing.
 	o.searchers = sync.Pool{New: func() interface{} { return graph.NewSearcher(o.ix.G) }}
+	o.resetPQSearchersLocked()
 	o.mu.Unlock()
 	o.notifyMutation()
 	if o.wal != nil && rep.Purged > 0 {
@@ -652,7 +682,15 @@ func (o *OnlineFixer) snapshotHoldingPmu() error {
 	if o.wal == nil {
 		return ErrNoWAL
 	}
-	err := o.wal.Snapshot(o.ix.G)
+	// With PQ serving live and a sidecar-capable WAL, the quantizer
+	// persists with the graph under one generation; recovery then replays
+	// instead of retraining. pmu makes both quiescent here.
+	var err error
+	if pw, ok := o.wal.(PQWAL); ok && o.pqs != nil {
+		err = pw.SnapshotPQ(o.ix.G, o.pqs.q)
+	} else {
+		err = o.wal.Snapshot(o.ix.G)
+	}
 	o.mu.Lock()
 	if err != nil {
 		o.walErrs++

@@ -17,6 +17,11 @@ type Result struct {
 type Stats struct {
 	// NDC is the number of distance calculations performed.
 	NDC int64
+	// ADCLookups is the number of compressed-domain score evaluations
+	// (asymmetric-distance table lookups) performed, zero on full-precision
+	// searches. A PQ-fused search reports its navigation work here and only
+	// the exact rerank in NDC, so the two costs stay separately visible.
+	ADCLookups int64
 	// Hops is the number of vertices whose neighbor lists were expanded.
 	Hops int
 	// Truncated reports that the search stopped early because its context
@@ -37,6 +42,11 @@ type Searcher struct {
 	visited *minheap.Visited
 	cand    *minheap.Min
 	results *minheap.Bounded
+
+	// pool collects every live scored vertex during a scored search (the
+	// compressed seam's rerank candidates); nil until the first scored
+	// search asks for one.
+	pool *minheap.Bounded
 
 	// gatherIDs/gatherD are the batched-scoring scratch: per hop, the
 	// unvisited neighbors of the expanded vertex are gathered into

@@ -280,7 +280,7 @@ func TestSlowQueryLogThreshold(t *testing.T) {
 	if l.Observe(fast) {
 		t.Fatal("below-threshold query logged")
 	}
-	slow := SlowQuery{ID: l.NextID(), K: 10, EF: 100, EFUsed: 80, NDC: 1234, Hops: 57,
+	slow := SlowQuery{ID: l.NextID(), K: 10, EF: 100, EFUsed: 80, NDC: 1234, ADC: 5678, Hops: 57,
 		Truncated: false, Clamped: true, ClampedBy: ClampAdmission, Duration: 12345 * time.Microsecond}
 	if !l.Observe(slow) {
 		t.Fatal("threshold-crossing query not logged")
@@ -292,7 +292,7 @@ func TestSlowQueryLogThreshold(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("lines = %v", lines)
 	}
-	want := "slow-query id=2 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=none policy=none ndc=1234 hops=57 truncated=false clamped=true durMs=12.345"
+	want := "slow-query id=2 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=none policy=none ndc=1234 adc=5678 hops=57 truncated=false clamped=true durMs=12.345"
 	if lines[0] != want {
 		t.Fatalf("line format drifted:\n got %q\nwant %q", lines[0], want)
 	}

@@ -18,6 +18,11 @@ type SlowQuery struct {
 	EF        int // requested (or defaulted) search-list size
 	EFUsed    int // effective ef actually searched, after any clamping
 	NDC       int64
+	// ADC counts compressed-domain score evaluations when the search ran
+	// the fused PQ path (0 on the full-precision path): a slow line with
+	// a large adc= and a small ndc= spent its time navigating codes, not
+	// reranking.
+	ADC       int64
 	Hops      int
 	Truncated bool
 	Clamped   bool
@@ -53,7 +58,7 @@ const (
 //
 // Line format (one line, stable key order, parseable as logfmt):
 //
-//	slow-query id=42 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=steady policy=none ndc=1234 hops=57 truncated=false clamped=true durMs=12.345
+//	slow-query id=42 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=steady policy=none ndc=1234 adc=5678 hops=57 truncated=false clamped=true durMs=12.345
 type SlowQueryLog struct {
 	// Threshold gates emission: only queries with Duration >= Threshold
 	// are logged. <= 0 disables the log.
@@ -66,9 +71,10 @@ type SlowQueryLog struct {
 
 // ParseSlowQuery parses one slow-query logfmt line (as emitted by
 // Observe, with or without a leading log prefix) back into a SlowQuery.
-// Lines from before the policy= field parse with Policy "none", so log
-// pipelines handle mixed-version fleets; unknown keys are rejected —
-// a typo'd dashboard query should fail loudly, not read zeros.
+// Lines from before the policy= or adc= fields parse with Policy "none"
+// and ADC 0, so log pipelines handle mixed-version fleets; unknown keys
+// are rejected — a typo'd dashboard query should fail loudly, not read
+// zeros.
 func ParseSlowQuery(line string) (SlowQuery, error) {
 	i := strings.Index(line, "slow-query ")
 	if i < 0 {
@@ -98,6 +104,8 @@ func ParseSlowQuery(line string) (SlowQuery, error) {
 			q.Policy = val
 		case "ndc":
 			q.NDC, err = strconv.ParseInt(val, 10, 64)
+		case "adc":
+			q.ADC, err = strconv.ParseInt(val, 10, 64)
 		case "hops":
 			q.Hops, err = strconv.Atoi(val)
 		case "truncated":
@@ -147,8 +155,8 @@ func (l *SlowQueryLog) Observe(q SlowQuery) bool {
 		if policy == "" {
 			policy = "none"
 		}
-		l.Logf("slow-query id=%d k=%d ef=%d efUsed=%d ef_clamped_by=%s repair=%s policy=%s ndc=%d hops=%d truncated=%t clamped=%t durMs=%.3f",
-			q.ID, q.K, q.EF, q.EFUsed, by, repair, policy, q.NDC, q.Hops, q.Truncated, q.Clamped,
+		l.Logf("slow-query id=%d k=%d ef=%d efUsed=%d ef_clamped_by=%s repair=%s policy=%s ndc=%d adc=%d hops=%d truncated=%t clamped=%t durMs=%.3f",
+			q.ID, q.K, q.EF, q.EFUsed, by, repair, policy, q.NDC, q.ADC, q.Hops, q.Truncated, q.Clamped,
 			float64(q.Duration)/float64(time.Millisecond))
 	}
 	return true

@@ -1,0 +1,202 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"time"
+
+	"ngfix/internal/graph"
+	"ngfix/internal/pq"
+)
+
+// PQ sidecar: when the serving path runs compressed (PQ-ADC navigation),
+// the trained codebooks and the codes of every snapshotted row persist as
+// a per-generation sidecar next to the snapshot,
+//
+//	pq-<g>.ngpq
+//
+// framed exactly like a snapshot (magic, version, length, Castagnoli
+// CRC-32, payload — here the internal/pq Encode format) and written with
+// the same tmp+rename+fsync discipline. SnapshotPQ publishes the sidecar
+// before the snapshot file: the generation only becomes visible once both
+// are durable, and a crash between the two leaves a stray sidecar that
+// the next generation's cleanup (or the non-PQ snapshot guard) removes.
+//
+// Recovery follows the replay-don't-re-encode rule: LoadPQ hands back the
+// persisted codebooks and codes; WAL-replayed inserts are re-encoded with
+// those frozen codebooks, never retrained, so a recovered shard's codes
+// are bit-identical to the crashed one's.
+const (
+	pqPrefix = "pq-"
+	pqSuffix = ".ngpq"
+
+	pqFrameMagic   uint32 = 0x4E475153 // "NGQS"
+	pqFrameVersion uint32 = 1
+)
+
+// ErrNoPQ reports that the active generation has no PQ sidecar — the
+// store predates PQ serving or was sealed with it disabled. Callers
+// retrain from the recovered vectors.
+var ErrNoPQ = errors.New("persist: no pq sidecar for active generation")
+
+func (s *Store) pqPath(gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%016d%s", pqPrefix, gen, pqSuffix))
+}
+
+// SnapshotPQ is Snapshot plus the quantizer sidecar: both files publish
+// under one new generation, failing atomically (a failed publish leaves
+// the previous generation as the recovery point and no new-generation
+// sidecar behind).
+func (s *Store) SnapshotPQ(g *graph.Graph, q *pq.Quantizer) error {
+	return s.snapshotWith(g, q)
+}
+
+func (s *Store) snapshotWith(g *graph.Graph, q *pq.Quantizer) (err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	defer func() { s.metrics.observeSnapshot(time.Since(start).Seconds(), err) }()
+	newGen := s.gen + 1
+	if q != nil {
+		if err := writePQFile(s.fs, s.pqPath(newGen), q, s.sync); err != nil {
+			return err
+		}
+	} else {
+		// A crashed SnapshotPQ can leave a sidecar for the generation we
+		// are about to publish without one; a stale sidecar must never
+		// outlive the snapshot it described.
+		s.fs.Remove(s.pqPath(newGen))
+	}
+	if err := writeSnapshotFile(s.fs, s.snapPath(newGen), g, s.sync); err != nil {
+		if q != nil {
+			s.fs.Remove(s.pqPath(newGen)) // best effort
+		}
+		return err
+	}
+	f, err := s.fs.Create(s.logPath(newGen))
+	if err != nil {
+		// The snapshot is durable, so the generation is still valid: a
+		// missing log just replays zero ops. Appends fail until the next
+		// snapshot.
+		s.closeLogLocked()
+		s.advanceLocked(newGen)
+		s.logErr = fmt.Errorf("persist: create op log: %w", err)
+		return s.logErr
+	}
+	s.closeLogLocked()
+	s.log = f
+	s.advanceLocked(newGen)
+	s.logErr = nil
+	return nil
+}
+
+// LoadPQ returns the quantizer sidecar of the active generation (the one
+// Load selected). ErrNoPQ means the generation was sealed without PQ;
+// any other error means the sidecar exists but is unreadable — corrupt or
+// torn — and the caller should fall back to retraining.
+func (s *Store) LoadPQ() (*pq.Quantizer, error) {
+	s.mu.Lock()
+	gen := s.gen
+	s.mu.Unlock()
+	if gen == 0 {
+		return nil, ErrNoPQ
+	}
+	rc, err := s.fs.Open(s.pqPath(gen))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNoPQ
+		}
+		return nil, fmt.Errorf("persist: open pq sidecar: %w", err)
+	}
+	defer rc.Close()
+	return decodePQFrame(rc)
+}
+
+// writePQFile atomically persists q at path: framed, checksummed,
+// tmp+rename+dir-fsync — the snapshot discipline applied to the sidecar.
+func writePQFile(fsys FS, path string, q *pq.Quantizer, sync bool) error {
+	var body bytes.Buffer
+	if err := q.Encode(&body); err != nil {
+		return fmt.Errorf("persist: encode pq sidecar: %w", err)
+	}
+	payload := body.Bytes()
+	head := make([]byte, snapHeaderLen)
+	le := binary.LittleEndian
+	le.PutUint32(head[0:], pqFrameMagic)
+	le.PutUint32(head[4:], pqFrameVersion)
+	le.PutUint64(head[8:], uint64(len(payload)))
+	le.PutUint32(head[16:], crc32.Checksum(payload, crcTable))
+
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("persist: create pq sidecar temp: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		fsys.Remove(tmp) // best effort
+		return err
+	}
+	if _, err := f.Write(head); err != nil {
+		return fail(fmt.Errorf("persist: write pq sidecar header: %w", err))
+	}
+	if _, err := f.Write(payload); err != nil {
+		return fail(fmt.Errorf("persist: write pq sidecar payload: %w", err))
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			return fail(fmt.Errorf("persist: sync pq sidecar: %w", err))
+		}
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("persist: close pq sidecar temp: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("persist: publish pq sidecar: %w", err)
+	}
+	if sync {
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			return fmt.Errorf("persist: sync pq sidecar dir: %w", err)
+		}
+	}
+	return nil
+}
+
+// decodePQFrame reads and verifies one framed quantizer stream.
+func decodePQFrame(rc io.Reader) (*pq.Quantizer, error) {
+	head := make([]byte, snapHeaderLen)
+	if _, err := io.ReadFull(rc, head); err != nil {
+		return nil, fmt.Errorf("persist: read pq sidecar header: %w", err)
+	}
+	le := binary.LittleEndian
+	if m := le.Uint32(head[0:]); m != pqFrameMagic {
+		return nil, fmt.Errorf("persist: bad pq sidecar magic %#x", m)
+	}
+	if v := le.Uint32(head[4:]); v != pqFrameVersion {
+		return nil, fmt.Errorf("persist: unsupported pq sidecar version %d", v)
+	}
+	length := le.Uint64(head[8:])
+	if int64(length) > maxSnapshotBytes {
+		return nil, fmt.Errorf("persist: implausible pq sidecar length %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(rc, payload); err != nil {
+		return nil, fmt.Errorf("persist: read pq sidecar payload: %w", err)
+	}
+	if got, want := crc32.Checksum(payload, crcTable), le.Uint32(head[16:]); got != want {
+		return nil, fmt.Errorf("persist: pq sidecar checksum mismatch (got %#x, want %#x)", got, want)
+	}
+	q, err := pq.ReadQuantizer(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("persist: decode pq sidecar: %w", err)
+	}
+	return q, nil
+}

@@ -1,0 +1,250 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ngfix/internal/pq"
+)
+
+func trainTestQuantizer(t *testing.T, st *Store) *pq.Quantizer {
+	t.Helper()
+	g := testGraph(t, 40)
+	q, err := pq.Train(g.Vectors, pq.Config{M: 3, KS: 16, Iters: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SnapshotPQ(g, q); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestPQSidecarRoundTrip pins the snapshot+recover contract: the
+// quantizer that comes back from a fresh Open/Load/LoadPQ carries
+// bit-identical codes, and encodes new rows exactly as the persisted one
+// would (the replay-don't-re-encode rule's foundation).
+func TestPQSidecarRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := trainTestQuantizer(t, st)
+	st.Close()
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.Load(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st2.LoadPQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config() != q.Config() || got.Rows() != q.Rows() || got.Dim() != q.Dim() {
+		t.Fatalf("recovered quantizer shape differs: %+v/%d/%d vs %+v/%d/%d",
+			got.Config(), got.Rows(), got.Dim(), q.Config(), q.Rows(), q.Dim())
+	}
+	for i := 0; i < q.Rows(); i++ {
+		if !bytes.Equal(got.Code(i), q.Code(i)) {
+			t.Fatalf("row %d codes differ after recovery", i)
+		}
+	}
+	// Frozen-codebook encode determinism across the recovery boundary.
+	row := make([]float32, q.Dim())
+	for j := range row {
+		row[j] = float32(j) * 0.1
+	}
+	q.AppendRow(row)
+	got.AppendRow(row)
+	if !bytes.Equal(q.Code(q.Rows()-1), got.Code(got.Rows()-1)) {
+		t.Fatal("recovered codebooks encode differently than persisted ones")
+	}
+}
+
+// TestLoadPQAbsent pins ErrNoPQ for stores sealed without PQ — the
+// recovery path's signal to retrain rather than fail.
+func TestLoadPQAbsent(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.LoadPQ(); !errors.Is(err, ErrNoPQ) {
+		t.Fatalf("empty store LoadPQ = %v, want ErrNoPQ", err)
+	}
+	if err := st.Snapshot(testGraph(t, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadPQ(); !errors.Is(err, ErrNoPQ) {
+		t.Fatalf("plain snapshot LoadPQ = %v, want ErrNoPQ", err)
+	}
+}
+
+// TestPQSidecarGC asserts old-generation sidecars are removed when a new
+// generation publishes, and that a PQ generation followed by a non-PQ
+// generation leaves no sidecar behind to mis-attach on recovery.
+func TestPQSidecarGC(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainTestQuantizer(t, st) // generation 1 with sidecar
+	g := testGraph(t, 40)
+	q, err := pq.Train(g.Vectors, pq.Config{M: 3, KS: 16, Iters: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SnapshotPQ(g, q); err != nil { // generation 2
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(st.pqPath(1)); !os.IsNotExist(err) {
+		t.Fatal("generation-1 sidecar survived the generation-2 snapshot")
+	}
+	if err := st.Snapshot(g); err != nil { // generation 3, PQ off
+		t.Fatal(err)
+	}
+	st.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == pqSuffix {
+			t.Fatalf("sidecar %s survived a non-PQ generation", e.Name())
+		}
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.LoadPQ(); !errors.Is(err, ErrNoPQ) {
+		t.Fatalf("LoadPQ after non-PQ generation = %v, want ErrNoPQ", err)
+	}
+}
+
+// TestPQSnapshotKilledMidCodebookWrite kills the filesystem at byte
+// offsets throughout the sidecar write (header, mid-codebook, mid-codes,
+// and the post-payload publish steps) and asserts the store either
+// recovers the previous complete generation or — when the crash landed
+// after the sidecar but before the snapshot published — never serves the
+// orphaned sidecar as current state.
+func TestPQSnapshotKilledMidCodebookWrite(t *testing.T) {
+	// Template: generation 1 sealed with a PQ sidecar.
+	tpl := t.TempDir()
+	st, err := Open(tpl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := trainTestQuantizer(t, st)
+	st.Close()
+
+	g2 := testGraph(t, 40)
+	q2, err := pq.Train(g2.Vectors, pq.Config{M: 3, KS: 16, Iters: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sidecar size on disk: frame header + payload.
+	var body bytes.Buffer
+	if err := q2.Encode(&body); err != nil {
+		t.Fatal(err)
+	}
+	sidecarLen := snapHeaderLen + body.Len()
+
+	offsets := []int{0, 1, snapHeaderLen - 1, snapHeaderLen, snapHeaderLen + 7}
+	for off := snapHeaderLen; off < sidecarLen; off += 97 {
+		offsets = append(offsets, off) // a spread of codebook/code positions
+	}
+	// Budgets beyond the sidecar kill the subsequent snapshot write or
+	// its publish steps instead.
+	offsets = append(offsets, sidecarLen, sidecarLen+1, sidecarLen+100, sidecarLen+5000)
+
+	for _, budget := range offsets {
+		dir := t.TempDir()
+		copyDir(t, tpl, dir)
+		ffs := &faultFS{inner: osFS{}, budget: budget}
+		fst, err := Open(dir, Options{FS: ffs})
+		if err != nil {
+			t.Fatalf("budget %d: open: %v", budget, err)
+		}
+		if err := fst.SnapshotPQ(g2, q2); err == nil {
+			// Budget covered everything — nothing to recover from.
+			fst.Close()
+			continue
+		}
+		fst.Close()
+
+		// Recovery with the real filesystem, the way startup does.
+		rst, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("budget %d: recovery open: %v", budget, err)
+		}
+		if _, err := rst.Load(); err != nil {
+			t.Fatalf("budget %d: recovery load: %v", budget, err)
+		}
+		if rst.Generation() != 1 {
+			t.Fatalf("budget %d: recovered generation %d, want the intact 1", budget, rst.Generation())
+		}
+		rq, err := rst.LoadPQ()
+		if err != nil {
+			t.Fatalf("budget %d: recovery LoadPQ: %v", budget, err)
+		}
+		if rq.Rows() != q1.Rows() {
+			t.Fatalf("budget %d: recovered sidecar has %d rows, want generation 1's %d",
+				budget, rq.Rows(), q1.Rows())
+		}
+		for i := 0; i < q1.Rows(); i++ {
+			if !bytes.Equal(rq.Code(i), q1.Code(i)) {
+				t.Fatalf("budget %d: recovered codes differ from generation 1", budget)
+			}
+		}
+		rst.Close()
+	}
+}
+
+// TestPQSidecarCorruptionDetected flips bytes across the sidecar file and
+// asserts LoadPQ refuses each corruption instead of returning a mangled
+// quantizer.
+func TestPQSidecarCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainTestQuantizer(t, st)
+	gen := st.Generation()
+	path := st.pqPath(gen)
+	st.Close()
+
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 5, snapHeaderLen + 3, len(orig) / 2, len(orig) - 1} {
+		bad := append([]byte(nil), orig...)
+		bad[off] ^= 0xFF
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st2.LoadPQ(); err == nil {
+			t.Fatalf("corruption at offset %d accepted", off)
+		} else if errors.Is(err, ErrNoPQ) {
+			t.Fatalf("corruption at offset %d misreported as absent sidecar", off)
+		}
+		st2.Close()
+	}
+}

@@ -204,30 +204,8 @@ func (s *Store) Replay(apply func(Op) error) (int, error) {
 // op log is opened, and older generations are deleted. On failure the
 // previous generation (snapshot and log) is untouched and remains the
 // recovery point.
-func (s *Store) Snapshot(g *graph.Graph) (err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	start := time.Now()
-	defer func() { s.metrics.observeSnapshot(time.Since(start).Seconds(), err) }()
-	newGen := s.gen + 1
-	if err := writeSnapshotFile(s.fs, s.snapPath(newGen), g, s.sync); err != nil {
-		return err
-	}
-	f, err := s.fs.Create(s.logPath(newGen))
-	if err != nil {
-		// The snapshot is durable, so the generation is still valid: a
-		// missing log just replays zero ops. Appends fail until the next
-		// snapshot.
-		s.closeLogLocked()
-		s.advanceLocked(newGen)
-		s.logErr = fmt.Errorf("persist: create op log: %w", err)
-		return s.logErr
-	}
-	s.closeLogLocked()
-	s.log = f
-	s.advanceLocked(newGen)
-	s.logErr = nil
-	return nil
+func (s *Store) Snapshot(g *graph.Graph) error {
+	return s.snapshotWith(g, nil)
 }
 
 func (s *Store) closeLogLocked() {
@@ -248,6 +226,9 @@ func (s *Store) advanceLocked(newGen uint64) {
 			old, ok := parseGen(name, snapPrefix, snapSuffix)
 			if !ok {
 				old, ok = parseGen(name, logPrefix, logSuffix)
+			}
+			if !ok {
+				old, ok = parseGen(name, pqPrefix, pqSuffix)
 			}
 			if ok && old < newGen {
 				s.fs.Remove(filepath.Join(s.dir, name))

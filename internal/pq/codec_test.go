@@ -1,0 +1,77 @@
+package pq
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCodecRoundTripBitIdentical(t *testing.T) {
+	m := randomMatrix(31, 400, 24)
+	q, err := Train(m, Config{M: 6, KS: 50, Iters: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := q.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadQuantizer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config() != q.Config() || got.Dim() != q.Dim() || got.Rows() != q.Rows() {
+		t.Fatalf("header mismatch: %+v dim=%d rows=%d vs %+v dim=%d rows=%d",
+			got.Config(), got.Dim(), got.Rows(), q.Config(), q.Dim(), q.Rows())
+	}
+	if !bytes.Equal(got.codes, q.codes) {
+		t.Fatal("codes not bit-identical after round trip")
+	}
+	for i := range q.centroids {
+		a, b := q.centroids[i].Data(), got.centroids[i].Data()
+		if len(a) != len(b) {
+			t.Fatalf("centroid table %d size mismatch", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("centroid table %d entry %d differs: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+
+	// The replay-don't-re-encode property: encoding a new row with the
+	// recovered codebooks yields exactly the bytes the original would.
+	extra := randomMatrix(32, 8, 24)
+	for i := 0; i < extra.Rows(); i++ {
+		q.AppendRow(extra.Row(i))
+		got.AppendRow(extra.Row(i))
+		if !bytes.Equal(q.Code(q.Rows()-1), got.Code(got.Rows()-1)) {
+			t.Fatalf("re-encoded row %d differs between original and recovered quantizer", i)
+		}
+	}
+}
+
+func TestReadQuantizerRejectsCorruption(t *testing.T) {
+	m := randomMatrix(33, 50, 8)
+	q, err := Train(m, Config{M: 4, KS: 16, Iters: 3, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := q.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncations anywhere must error, never panic or succeed partially.
+	for _, cut := range []int{0, 10, 39, 41, len(full) / 2, len(full) - 1} {
+		if _, err := ReadQuantizer(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), full...)
+	bad[0] ^= 0xFF
+	if _, err := ReadQuantizer(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+}

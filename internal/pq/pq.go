@@ -28,13 +28,34 @@ type Config struct {
 	Seed int64
 }
 
-// DefaultConfig picks a standard setting for the given dimension.
-func DefaultConfig(dim int) Config {
+// DefaultConfig picks a standard setting for the given dimension: the
+// largest M ≤ 8 that divides dim, with 64 centroids per subspace. It
+// refuses dimensions where only M=1 would fit (prime dims, say): a single
+// subspace degenerates PQ to plain vector quantization with KS
+// representable points total, which silently destroys recall. Callers
+// that genuinely want that arm opt in via DefaultOrScalarConfig or an
+// explicit Config{M: 1}.
+func DefaultConfig(dim int) (Config, error) {
 	m := 8
 	for dim%m != 0 && m > 1 {
 		m--
 	}
-	return Config{M: m, KS: 64, Iters: 8, Seed: 23}
+	if m == 1 {
+		return Config{}, fmt.Errorf("pq: no subspace count in 2..8 divides dim=%d; set Config.M explicitly (M=1 degenerates to scalar vector quantization)", dim)
+	}
+	return Config{M: m, KS: 64, Iters: 8, Seed: 23}, nil
+}
+
+// DefaultOrScalarConfig is DefaultConfig with the documented explicit
+// fallback: dimensions no M in 2..8 divides get M=1 — plain vector
+// quantization, still a valid (if coarse) arm for diagnostics and
+// benchmarks that must run on any dimension.
+func DefaultOrScalarConfig(dim int) Config {
+	cfg, err := DefaultConfig(dim)
+	if err != nil {
+		return Config{M: 1, KS: 64, Iters: 8, Seed: 23}
+	}
+	return cfg
 }
 
 // Quantizer is a trained product quantizer plus the codes of a dataset.
@@ -47,6 +68,10 @@ type Quantizer struct {
 	// codes holds M bytes per encoded row.
 	codes []byte
 	rows  int
+
+	// encScratch is AppendRow's centroid-distance buffer, reused across
+	// incremental encodes (single writer; see AppendRow).
+	encScratch []float32
 }
 
 // Train fits the codebooks on the dataset and encodes every row.
@@ -162,6 +187,35 @@ func (q *Quantizer) encodeInto(row []float32, dst []byte, scratch []float32) {
 	}
 }
 
+// AppendRow encodes one new row with the frozen codebooks and appends its
+// code, growing the encoded set by one (ids stay aligned with the graph:
+// the appended row gets id Rows()-1 after the call). Training never
+// reruns — an online index encodes inserts incrementally against the
+// codebook it trained (or recovered), which is what keeps persisted codes
+// and replayed codes bit-identical. Not safe for concurrent use; callers
+// serialize appends under their write lock.
+func (q *Quantizer) AppendRow(row []float32) {
+	if len(row) != q.dim {
+		panic("pq: row dimension mismatch")
+	}
+	if cap(q.encScratch) < q.cfg.KS {
+		q.encScratch = make([]float32, q.cfg.KS)
+	}
+	var code [256]byte
+	dst := code[:q.cfg.M]
+	q.encodeInto(row, dst, q.encScratch)
+	q.codes = append(q.codes, dst...)
+	q.rows++
+}
+
+// AppendRowsFrom encodes rows [lo, hi) of m with AppendRow — the recovery
+// path's bulk form for re-encoding WAL-replayed inserts.
+func (q *Quantizer) AppendRowsFrom(m *vec.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		q.AppendRow(m.Row(i))
+	}
+}
+
 // Code returns the code bytes of row i (aliasing internal storage).
 func (q *Quantizer) Code(i int) []byte { return q.codes[i*q.cfg.M : (i+1)*q.cfg.M] }
 
@@ -171,8 +225,21 @@ func (q *Quantizer) Rows() int { return q.rows }
 // M returns the number of subspaces.
 func (q *Quantizer) M() int { return q.cfg.M }
 
+// Dim returns the trained vector dimension.
+func (q *Quantizer) Dim() int { return q.dim }
+
+// Config returns the effective training configuration (KS may be smaller
+// than requested when the training set had fewer rows).
+func (q *Quantizer) Config() Config { return q.cfg }
+
 // CodeBytes returns the total size of the stored codes in bytes.
 func (q *Quantizer) CodeBytes() int { return len(q.codes) }
+
+// CodebookBytes returns the size of the centroid tables in bytes — with
+// CodeBytes, the resident cost of serving from the compressed domain.
+func (q *Quantizer) CodebookBytes() int {
+	return q.cfg.M * q.cfg.KS * q.sub * 4
+}
 
 // Decode reconstructs the quantized approximation of row i.
 func (q *Quantizer) Decode(i int) []float32 {

@@ -1,23 +1,35 @@
 package pq
 
 import (
+	"context"
+
 	"ngfix/internal/graph"
 	"ngfix/internal/minheap"
 )
 
 // GraphSearcher runs beam search over a graph index scoring candidates
 // with ADC lookups instead of full-precision distances, then re-ranks the
-// final candidates exactly. One full-precision distance is paid per
+// best candidates exactly. One full-precision distance is paid per
 // re-ranked candidate instead of per visited vertex.
+//
+// The beam is bounded at ef — exactly like the full-precision searcher,
+// so ef buys the same breadth/cost trade-off in both domains — while a
+// separate pool (of size Rerank, default 4·k) collects the ADC-best
+// vertices seen anywhere during navigation for the exact rerank. The two
+// bounds are independent: a wide rerank pool no longer widens the beam
+// (the historical bug this type shipped with), and a small ef no longer
+// starves the rerank set.
 type GraphSearcher struct {
-	g       *graph.Graph
-	q       *Quantizer
-	visited *minheap.Visited
-	cand    *minheap.Min
-	results *minheap.Bounded
+	g *graph.Graph
+	q *Quantizer
+	s *graph.Searcher
 	// Rerank is how many ADC-best candidates get exact re-ranking
 	// (default 4·k at search time when zero).
 	Rerank int
+	// Tier, when set, supplies the full-precision rows for the exact
+	// rerank instead of g.Vectors — the demoted (mmap'd / on-disk)
+	// vector tier. Ids must correspond to graph ids.
+	Tier Tier
 }
 
 // NewGraphSearcher pairs a graph with a quantizer trained on the same
@@ -26,20 +38,50 @@ func NewGraphSearcher(g *graph.Graph, q *Quantizer) *GraphSearcher {
 	if q.Rows() != g.Len() {
 		panic("pq: quantizer rows != graph size")
 	}
-	return &GraphSearcher{
-		g:       g,
-		q:       q,
-		visited: minheap.NewVisited(g.Len()),
-		cand:    minheap.NewMin(256),
-		results: minheap.NewBounded(16),
+	return &GraphSearcher{g: g, q: q, s: graph.NewSearcher(g)}
+}
+
+// tableScorer adapts a per-query ADC table to the graph.Scorer seam.
+type tableScorer struct {
+	q *Quantizer
+	t Table
+}
+
+func (ts *tableScorer) ScoreID(id uint32) float32 { return ts.q.ADC(ts.t, int(id)) }
+
+// ScoreIDs is the per-hop batched gather: for each gathered neighbor it
+// walks that row's M contiguous code bytes through the table — all the
+// memory traffic is the code array (M bytes/vertex) and the table (KS·M
+// floats, cache-resident for the whole query).
+func (ts *tableScorer) ScoreIDs(ids []uint32, out []float32) {
+	q, t := ts.q, ts.t
+	m := q.cfg.M
+	codes := q.codes
+	for i, id := range ids {
+		code := codes[int(id)*m : int(id)*m+m]
+		var s float32
+		for j, c := range code {
+			s += t[j][c]
+		}
+		out[i] = s
 	}
 }
 
-// Search returns the top-k for the query using ADC-guided beam search
-// with search list ef and exact re-ranking. Stats.NDC counts only
-// full-precision distance evaluations (the re-rank), mirroring how
-// PQ+graph systems report their savings.
+// Search is SearchCtx without cancellation.
 func (s *GraphSearcher) Search(query []float32, k, ef int) ([]graph.Result, graph.Stats) {
+	return s.SearchCtx(nil, query, k, ef)
+}
+
+// SearchCtx returns the top-k for the query using ADC-guided beam search
+// with search list ef and exact re-ranking, polling ctx (nil means never
+// cancelled) on the same 32-hop cadence as the full-precision path: a
+// cancelled search stops where it stands, reranks what it has, and
+// reports Stats.Truncated.
+//
+// Stats.NDC counts only full-precision distance evaluations (the
+// re-rank), mirroring how PQ+graph systems report their savings;
+// Stats.ADCLookups counts the compressed-domain navigation work.
+func (s *GraphSearcher) SearchCtx(ctx context.Context, query []float32, k, ef int) ([]graph.Result, graph.Stats) {
 	g := s.g
 	if g.Len() == 0 {
 		return nil, graph.Stats{}
@@ -51,55 +93,21 @@ func (s *GraphSearcher) Search(query []float32, k, ef int) ([]graph.Result, grap
 	if rerank <= 0 {
 		rerank = 4 * k
 	}
-	if rerank < ef {
-		rerank = ef
+	if rerank < k {
+		rerank = k
 	}
-	table := s.q.BuildTable(query)
+	ts := tableScorer{q: s.q, t: s.q.BuildTable(query)}
+	pool, st := s.s.SearchScoredPoolCtx(ctx, &ts, ef, rerank, g.EntryPoint)
 
-	s.visited.Grow(g.Len())
-	s.visited.Reset()
-	s.cand.Reset()
-	s.results.Reset(rerank)
-
-	var st graph.Stats
-	entry := g.EntryPoint
-	s.visited.Visit(entry)
-	ed := s.q.ADC(table, int(entry))
-	s.cand.Push(minheap.Item{ID: entry, Dist: ed})
-	if !g.IsDeleted(entry) {
-		s.results.Push(minheap.Item{ID: entry, Dist: ed})
+	// Exact re-rank of the ADC-best candidates from the full-precision
+	// tier (graph vectors unless a demoted tier is attached).
+	rowOf := g.Vectors.Row
+	if s.Tier != nil {
+		rowOf = s.Tier.Row
 	}
-	for s.cand.Len() > 0 {
-		cur := s.cand.Pop()
-		if worst, ok := s.results.MaxDist(); ok && s.results.Full() && cur.Dist > worst {
-			break
-		}
-		st.Hops++
-		expand := func(v uint32) {
-			if s.visited.Visit(v) {
-				return
-			}
-			d := s.q.ADC(table, int(v))
-			if s.results.WouldAccept(d) {
-				s.cand.Push(minheap.Item{ID: v, Dist: d})
-				if !g.IsDeleted(v) {
-					s.results.Push(minheap.Item{ID: v, Dist: d})
-				}
-			}
-		}
-		for _, v := range g.BaseNeighbors(cur.ID) {
-			expand(v)
-		}
-		for _, e := range g.ExtraNeighbors(cur.ID) {
-			expand(e.To)
-		}
-	}
-
-	// Exact re-rank of the ADC-best candidates.
-	items := s.results.SortedAscending()
 	reranked := minheap.NewBounded(k)
-	for _, it := range items {
-		d := g.Metric.Distance(query, g.Vectors.Row(int(it.ID)))
+	for _, it := range pool {
+		d := g.Metric.Distance(query, rowOf(int(it.ID)))
 		st.NDC++
 		if reranked.WouldAccept(d) {
 			reranked.Push(minheap.Item{ID: it.ID, Dist: d})

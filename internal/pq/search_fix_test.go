@@ -1,0 +1,156 @@
+package pq
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"ngfix/internal/hnsw"
+	"ngfix/internal/vec"
+)
+
+// TestEFBoundsBeam is the regression test for the historical searcher
+// bug: the result heap was bounded at rerank = max(4·k, ef), so the beam
+// was always rerank-wide and lowering ef bought nothing. With the beam
+// bounded at ef proper, navigation cost (hops, ADC lookups) must shrink
+// monotonically as ef drops, while the rerank NDC stays pinned to the
+// pool size, not ef.
+func TestEFBoundsBeam(t *testing.T) {
+	m := randomMatrix(21, 2000, 16)
+	h := hnsw.Build(m, hnsw.Config{M: 12, EFConstruction: 100, Metric: vec.L2, Seed: 2})
+	g := h.Bottom()
+	q, err := Train(m, Config{M: 8, KS: 64, Iters: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewGraphSearcher(g, q)
+	const k = 10
+	efs := []int{160, 80, 40, 20, 10}
+	queries := randomMatrix(22, 20, 16)
+
+	var prevHops, prevADC, prevNDC int64
+	for i, ef := range efs {
+		var hops, adc, ndc int64
+		for qi := 0; qi < queries.Rows(); qi++ {
+			_, st := s.Search(queries.Row(qi), k, ef)
+			hops += int64(st.Hops)
+			adc += st.ADCLookups
+			ndc += st.NDC
+		}
+		if i > 0 {
+			if hops > prevHops || adc > prevADC {
+				t.Fatalf("ef=%d costs more than ef=%d: hops %d > %d or ADC %d > %d — ef is not bounding the beam",
+					ef, efs[i-1], hops, prevHops, adc, prevADC)
+			}
+			if ndc > prevNDC {
+				t.Fatalf("rerank NDC grew as ef dropped: %d > %d", ndc, prevNDC)
+			}
+		}
+		prevHops, prevADC, prevNDC = hops, adc, ndc
+	}
+	// Monotone non-increasing point-to-point, and strictly cheaper across
+	// the full sweep: a no-op ef would hold all counts flat.
+	var hopsMax, hopsMin int64
+	for qi := 0; qi < queries.Rows(); qi++ {
+		_, stWide := s.Search(queries.Row(qi), k, efs[0])
+		hopsMax += int64(stWide.Hops)
+		_, stNarrow := s.Search(queries.Row(qi), k, efs[len(efs)-1])
+		hopsMin += int64(stNarrow.Hops)
+	}
+	if hopsMin >= hopsMax {
+		t.Fatalf("ef sweep did not change navigation cost (hops %d at ef=%d vs %d at ef=%d)",
+			hopsMin, efs[len(efs)-1], hopsMax, efs[0])
+	}
+}
+
+// TestRerankPoolIndependentOfEF pins the other half of the fix: the
+// rerank pool depth tracks Rerank (default 4·k), not ef, so a narrow
+// beam still reranks a full candidate pool.
+func TestRerankPoolIndependentOfEF(t *testing.T) {
+	m := randomMatrix(23, 1500, 16)
+	h := hnsw.Build(m, hnsw.Config{M: 12, EFConstruction: 100, Metric: vec.L2, Seed: 4})
+	g := h.Bottom()
+	q, err := Train(m, Config{M: 8, KS: 64, Iters: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewGraphSearcher(g, q)
+	const k = 10
+	query := randomMatrix(24, 1, 16).Row(0)
+	_, stNarrow := s.Search(query, k, k) // ef = k, well under 4·k
+	if stNarrow.NDC != 4*k {
+		t.Fatalf("rerank NDC=%d at ef=%d, want the full pool of %d", stNarrow.NDC, k, 4*k)
+	}
+	s.Rerank = 7 * k
+	_, stWide := s.Search(query, k, k)
+	if stWide.NDC != 7*k {
+		t.Fatalf("rerank NDC=%d with Rerank=%d, want %d", stWide.NDC, 7*k, 7*k)
+	}
+}
+
+func TestSearchCtxTruncates(t *testing.T) {
+	m := randomMatrix(25, 1200, 16)
+	h := hnsw.Build(m, hnsw.Config{M: 10, EFConstruction: 80, Metric: vec.L2, Seed: 6})
+	g := h.Bottom()
+	q, err := Train(m, Config{M: 8, KS: 32, Iters: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewGraphSearcher(g, q)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, st := s.SearchCtx(ctx, m.Row(0), 10, 200)
+	if !st.Truncated {
+		t.Fatal("cancelled PQ search did not report truncation")
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("truncated results not sorted")
+		}
+	}
+	// Uncancelled context: never truncated.
+	_, st = s.SearchCtx(context.Background(), m.Row(0), 10, 60)
+	if st.Truncated {
+		t.Fatal("live context reported truncation")
+	}
+}
+
+func TestDefaultConfigRejectsPrimeDim(t *testing.T) {
+	if _, err := DefaultConfig(13); err == nil {
+		t.Fatal("DefaultConfig(13) should refuse the M=1 degeneration")
+	}
+	cfg, err := DefaultConfig(96)
+	if err != nil || cfg.M != 8 {
+		t.Fatalf("DefaultConfig(96) = %+v, %v; want M=8", cfg, err)
+	}
+	cfg, err = DefaultConfig(14)
+	if err != nil || cfg.M != 7 {
+		t.Fatalf("DefaultConfig(14) = %+v, %v; want M=7", cfg, err)
+	}
+	if fb := DefaultOrScalarConfig(13); fb.M != 1 {
+		t.Fatalf("DefaultOrScalarConfig(13).M = %d, want the documented 1", fb.M)
+	}
+}
+
+func TestAppendRowMatchesBatchEncode(t *testing.T) {
+	m := randomMatrix(26, 300, 16)
+	q, err := Train(m, Config{M: 4, KS: 32, Iters: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := randomMatrix(27, 5, 16)
+	// Reference: encode directly with the trained codebooks.
+	want := make([]byte, q.M())
+	scratch := make([]float32, q.Config().KS)
+	for i := 0; i < extra.Rows(); i++ {
+		q.encodeInto(extra.Row(i), want, scratch)
+		q.AppendRow(extra.Row(i))
+		got := q.Code(q.Rows() - 1)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("row %d: AppendRow code %v != direct encode %v", i, got, want)
+		}
+	}
+	if q.Rows() != 305 || q.CodeBytes() != 305*4 {
+		t.Fatalf("shape after appends: rows=%d bytes=%d", q.Rows(), q.CodeBytes())
+	}
+}

@@ -1,0 +1,186 @@
+package pq
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"ngfix/internal/vec"
+)
+
+// Tier is a read-only source of full-precision rows for exact reranking.
+// A PQ-fused search navigates entirely in the compressed domain and
+// touches the tier only for its top ~4·k candidates, so the tier can live
+// outside the heap (mmap'd, on disk) without slowing navigation.
+type Tier interface {
+	// Row returns row i (valid until the next Append on mutable tiers).
+	Row(i int) []float32
+	// Rows returns how many rows the tier holds.
+	Rows() int
+	// ResidentBytes reports how many of the tier's bytes are pinned in
+	// heap memory. An mmap-backed tier reports only its unflushed tail:
+	// the mapped region is page cache the kernel reclaims under pressure.
+	ResidentBytes() int64
+}
+
+// MatrixTier serves rerank rows straight from an in-heap matrix — the
+// default when no tier file is configured (vectors stay resident, PQ
+// still saves all navigation NDC).
+type MatrixTier struct{ M *vec.Matrix }
+
+func (t MatrixTier) Row(i int) []float32 { return t.M.Row(i) }
+func (t MatrixTier) Rows() int           { return t.M.Rows() }
+func (t MatrixTier) ResidentBytes() int64 {
+	return int64(t.M.Rows()) * int64(t.M.Dim()) * 4
+}
+
+// Tier file format (little-endian):
+//
+//	magic   uint32  0x4E475654 ("NGVT")
+//	version uint32  1
+//	dim     uint32
+//	rows    uint32
+//	data    rows × dim float32
+//
+// The 16-byte header keeps the row data 4-byte aligned from the start of
+// the mapping, so an mmap'd file is served by casting pages in place.
+const (
+	tierMagic      = 0x4E475654
+	tierVersion    = 1
+	tierHeaderSize = 16
+)
+
+// WriteTierFile writes m as a tier file at path (atomic tmp+rename, so a
+// crash mid-write never leaves a torn file with the final name).
+func WriteTierFile(path string, m *vec.Matrix) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var hdr [tierHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], tierMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], tierVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.Dim()))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(m.Rows()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
+	var fb [4]byte
+	for _, v := range m.Data() {
+		binary.LittleEndian.PutUint32(fb[:], math.Float32bits(v))
+		if _, err := bw.Write(fb[:]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// FileTier serves rerank rows from a tier file — mmap'd where the
+// platform supports it (the demoted-vector tier: navigation never touches
+// these pages, rerank faults in only the few it needs) — plus an in-heap
+// tail for rows appended since the file was written. Appends are
+// single-writer like the rest of the online index; concurrent readers of
+// already-present rows are safe because neither the mapping nor written
+// tail rows move.
+type FileTier struct {
+	dim  int
+	base *vec.Matrix // file-backed rows (mmap or heap fallback)
+	raw  []byte      // mapping to release on Close; nil on the heap fallback
+	tail *vec.Matrix // rows appended after the file was sealed
+}
+
+// OpenFileTier opens a tier file written by WriteTierFile.
+func OpenFileTier(path string) (*FileTier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [tierHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("pq: tier header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != tierMagic {
+		return nil, fmt.Errorf("pq: tier bad magic 0x%08x", m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != tierVersion {
+		return nil, fmt.Errorf("pq: tier unsupported version %d", v)
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[8:]))
+	rows := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if dim <= 0 || rows < 0 {
+		return nil, fmt.Errorf("pq: tier corrupt header (dim=%d rows=%d)", dim, rows)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	want := int64(tierHeaderSize) + int64(rows)*int64(dim)*4
+	if st.Size() < want {
+		return nil, fmt.Errorf("pq: tier truncated: %d bytes, want %d", st.Size(), want)
+	}
+	base, raw, err := mapTier(f, dim, rows)
+	if err != nil {
+		return nil, err
+	}
+	return &FileTier{
+		dim:  dim,
+		base: base,
+		raw:  raw,
+		tail: vec.NewMatrix(0, dim),
+	}, nil
+}
+
+// AppendRow adds one row to the in-heap tail (ids continue past the
+// file's rows).
+func (t *FileTier) AppendRow(row []float32) { t.tail.Append(row) }
+
+func (t *FileTier) Row(i int) []float32 {
+	if i < t.base.Rows() {
+		return t.base.Row(i)
+	}
+	return t.tail.Row(i - t.base.Rows())
+}
+
+func (t *FileTier) Rows() int { return t.base.Rows() + t.tail.Rows() }
+
+func (t *FileTier) ResidentBytes() int64 {
+	resident := int64(t.tail.Rows()) * int64(t.dim) * 4
+	if t.raw == nil {
+		// Heap fallback platform: the base rows are resident too.
+		resident += int64(t.base.Rows()) * int64(t.dim) * 4
+	}
+	return resident
+}
+
+// Close releases the mapping (no-op on the heap fallback). Rows must not
+// be used after Close.
+func (t *FileTier) Close() error { return unmapTier(t.raw) }

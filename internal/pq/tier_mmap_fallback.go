@@ -1,0 +1,33 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package pq
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+	"os"
+
+	"ngfix/internal/vec"
+)
+
+// mapTier on platforms without syscall.Mmap reads the payload into the
+// heap: the tier still works, it just stays resident (ResidentBytes
+// reports it honestly).
+func mapTier(f *os.File, dim, rows int) (*vec.Matrix, []byte, error) {
+	if _, err := f.Seek(tierHeaderSize, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	buf := make([]byte, rows*dim*4)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, nil, err
+	}
+	m := vec.NewMatrix(rows, dim)
+	data := m.Data()
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return m, nil, nil
+}
+
+func unmapTier(raw []byte) error { return nil }

@@ -1,0 +1,36 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package pq
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+
+	"ngfix/internal/vec"
+)
+
+// mapTier mmaps the tier file read-only and adopts the float32 payload in
+// place: zero copies, zero heap residency — the kernel pages rerank rows
+// in on demand and evicts them under memory pressure.
+func mapTier(f *os.File, dim, rows int) (*vec.Matrix, []byte, error) {
+	size := tierHeaderSize + rows*dim*4
+	if rows == 0 {
+		return vec.NewMatrix(0, dim), nil, nil
+	}
+	raw, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pq: mmap tier: %w", err)
+	}
+	payload := raw[tierHeaderSize:size]
+	floats := unsafe.Slice((*float32)(unsafe.Pointer(&payload[0])), rows*dim)
+	return vec.WrapMatrix(floats, dim), raw, nil
+}
+
+func unmapTier(raw []byte) error {
+	if raw == nil {
+		return nil
+	}
+	return syscall.Munmap(raw)
+}

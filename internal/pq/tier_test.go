@@ -1,0 +1,79 @@
+package pq
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ngfix/internal/vec"
+)
+
+func TestFileTierRoundTrip(t *testing.T) {
+	m := randomMatrix(41, 120, 12)
+	path := filepath.Join(t.TempDir(), "vectors.tier")
+	if err := WriteTierFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	tier, err := OpenFileTier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	if tier.Rows() != m.Rows() {
+		t.Fatalf("rows = %d, want %d", tier.Rows(), m.Rows())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		a, b := m.Row(i), tier.Row(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d differs at %d: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+
+	// Appended tail rows continue the id space and are the only resident
+	// bytes on mmap platforms.
+	base := tier.ResidentBytes()
+	tail := randomMatrix(42, 3, 12)
+	for i := 0; i < tail.Rows(); i++ {
+		tier.AppendRow(tail.Row(i))
+	}
+	if tier.Rows() != 123 {
+		t.Fatalf("rows after append = %d, want 123", tier.Rows())
+	}
+	for i := 0; i < 3; i++ {
+		got := tier.Row(120 + i)
+		want := tail.Row(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("tail row %d differs", i)
+			}
+		}
+	}
+	if tier.ResidentBytes() != base+3*12*4 {
+		t.Fatalf("resident bytes %d, want %d", tier.ResidentBytes(), base+3*12*4)
+	}
+}
+
+func TestFileTierEmptyAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.tier")
+	if err := WriteTierFile(empty, vec.NewMatrix(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	tier, err := OpenFileTier(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier.Rows() != 0 {
+		t.Fatalf("empty tier rows = %d", tier.Rows())
+	}
+	tier.AppendRow(make([]float32, 8))
+	if tier.Rows() != 1 {
+		t.Fatal("append to empty tier failed")
+	}
+	tier.Close()
+
+	if _, err := OpenFileTier(filepath.Join(dir, "missing.tier")); err == nil {
+		t.Fatal("missing tier file accepted")
+	}
+}

@@ -356,6 +356,11 @@ type SearchHit struct {
 type SearchResponse struct {
 	Results []SearchHit `json:"results"`
 	NDC     int64       `json:"ndc"`
+	// ADC counts compressed-domain score evaluations when the index
+	// serves through the fused PQ path (NDC then counts only the exact
+	// rerank). Omitted on full-precision serving, so servers without PQ
+	// keep their exact legacy payloads.
+	ADC int64 `json:"adc,omitempty"`
 	// Truncated reports that the server budget (or the client's
 	// disconnect) stopped the search early: Results is the best found so
 	// far, not the full beam-search answer.
@@ -479,6 +484,26 @@ type PolicyStatsResponse struct {
 	Augment  *PolicyAugmentStats  `json:"augment,omitempty"`
 }
 
+// PQStatsResponse is the compressed-serving block of /v1/stats: the
+// quantizer shape, the resident-memory accounting (what the fused path
+// keeps in heap versus what full-precision vectors would occupy), and
+// the served work split into navigation (ADC) and rerank (NDC).
+type PQStatsResponse struct {
+	M                 int   `json:"m"`
+	KS                int   `json:"ks"`
+	RerankFactor      int   `json:"rerankFactor"`
+	Rows              int   `json:"rows"`
+	CodeBytes         int64 `json:"codeBytes"`
+	CodebookBytes     int64 `json:"codebookBytes"`
+	TierResidentBytes int64 `json:"tierResidentBytes"`
+	ResidentBytes     int64 `json:"residentBytes"`
+	FullVectorBytes   int64 `json:"fullVectorBytes"`
+	Searches          int64 `json:"searches"`
+	ADCLookups        int64 `json:"adcLookups"`
+	RerankNDC         int64 `json:"rerankNDC"`
+	Truncated         int64 `json:"truncated"`
+}
+
 // ShardStatsResponse is one shard's slice of /v1/stats.
 type ShardStatsResponse struct {
 	Shard        int    `json:"shard"`
@@ -539,6 +564,11 @@ type StatsResponse struct {
 	// an unconfigured server's payload is byte-identical to before the
 	// policy layer existed.
 	Policy *PolicyStatsResponse `json:"policy,omitempty"`
+	// PQ is the compressed-serving block, aggregated across shards.
+	// Present only when the index serves through the fused PQ path; a
+	// full-precision server's payload is byte-identical to before PQ
+	// serving existed.
+	PQ *PQStatsResponse `json:"pq,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -665,7 +695,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.observeSearch(outcome, dur)
 	if s.SlowQueries.Observe(obs.SlowQuery{
 		ID: s.SlowQueries.NextID(), K: k, EF: requestedEF, EFUsed: ef,
-		NDC: st.NDC, Hops: st.Hops,
+		NDC: st.NDC, ADC: st.ADCLookups, Hops: st.Hops,
 		Truncated: st.Truncated, Clamped: clamped, ClampedBy: clampedBy,
 		Repair: s.repairMode(), Policy: policyAttr,
 		Duration: dur,
@@ -673,7 +703,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.metrics.observeSlowQuery()
 	}
 	resp := SearchResponse{
-		NDC: st.NDC, Truncated: st.Truncated,
+		NDC: st.NDC, ADC: st.ADCLookups, Truncated: st.Truncated,
 		EFUsed: ef, Clamped: clamped, Stale: stale,
 		Results: make([]SearchHit, len(res)),
 	}
@@ -850,6 +880,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	var pqBlock *PQStatsResponse
+	if pt, _, ok := s.group.PQStats(); ok {
+		pqBlock = &PQStatsResponse{
+			M: pt.M, KS: pt.KS, RerankFactor: pt.Rerank, Rows: pt.Rows,
+			CodeBytes: pt.CodeBytes, CodebookBytes: pt.CodebookBytes,
+			TierResidentBytes: pt.TierResidentBytes,
+			ResidentBytes:     pt.ResidentBytes, FullVectorBytes: pt.FullVectorBytes,
+			Searches: pt.Searches, ADCLookups: pt.ADCLookups,
+			RerankNDC: pt.RerankNDC, Truncated: pt.Truncated,
+		}
+	}
 	s.writeJSON(w, StatsResponse{
 		Vectors:      ost.Vectors,
 		Live:         ost.Live,
@@ -875,6 +916,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Repair:            repairStatus,
 		Replica:           replicaStatus,
 		Policy:            pol,
+		PQ:                pqBlock,
 	})
 }
 

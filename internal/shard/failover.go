@@ -204,6 +204,7 @@ func (g *Group) SearchStale(ctx context.Context, q []float32, k, ef int, paralle
 				merged = append(merged, graph.Result{ID: g.router.Global(h.shard, r.ID), Dist: r.Dist})
 			}
 			stats.NDC += h.st.NDC
+			stats.ADCLookups += h.st.ADCLookups
 			stats.Hops += h.st.Hops
 			stats.Truncated = stats.Truncated || h.st.Truncated
 			stale = stale || h.stale

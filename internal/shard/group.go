@@ -301,6 +301,39 @@ func (g *Group) OnlineStats() (core.OnlineStats, []core.OnlineStats) {
 	return total, per
 }
 
+// PQStats aggregates the compressed-serving block across shards (counters
+// and byte accounting sum; the shape fields come from the first enabled
+// shard — the serving wiring enables PQ uniformly). ok is false when no
+// shard serves compressed.
+func (g *Group) PQStats() (core.PQStats, []core.PQStats, bool) {
+	per := make([]core.PQStats, len(g.fixers))
+	var total core.PQStats
+	any := false
+	for s, f := range g.fixers {
+		st, ok := f.PQStats()
+		if !ok {
+			continue
+		}
+		per[s] = st
+		if !any {
+			total = st
+			any = true
+			continue
+		}
+		total.Rows += st.Rows
+		total.CodeBytes += st.CodeBytes
+		total.CodebookBytes += st.CodebookBytes
+		total.TierResidentBytes += st.TierResidentBytes
+		total.ResidentBytes += st.ResidentBytes
+		total.FullVectorBytes += st.FullVectorBytes
+		total.Searches += st.Searches
+		total.ADCLookups += st.ADCLookups
+		total.RerankNDC += st.RerankNDC
+		total.Truncated += st.Truncated
+	}
+	return total, per, any
+}
+
 // Degraded reports whether any shard's durability sink is failed.
 func (g *Group) Degraded() bool {
 	for _, f := range g.fixers {
