@@ -8,8 +8,9 @@
 //	ngfix-server -index prebuilt.ngig -addr :8080
 //	ngfix-server -index prebuilt.ngig -snapshot-dir ./state   # durable
 //	ngfix-server -snapshot-dir ./state                        # recover & serve
+//	ngfix-server -snapshot-dir ./state -reshard               # offline N→2N split
 //
-// Endpoints: POST /v1/{search,insert,delete,fix,purge,snapshot},
+// Endpoints: POST /v1/{search,insert,delete,fix,purge,snapshot,reshard},
 // GET /v1/stats, GET /healthz, GET /readyz, GET /metrics (Prometheus
 // text format; disable with -metrics=false). See internal/server for
 // the JSON shapes, and README "Observability" for the metric families,
@@ -29,6 +30,14 @@
 // blocks the others. The default -shards 1 keeps the pre-sharding
 // single-directory layout, byte-compatible with existing state; a
 // sharded directory remembers its count, so restarts need no flag.
+//
+// The shard count can grow N→2N without stopping the server: POST
+// /v1/reshard streams every parent shard through two filtered children,
+// tails the parents' op logs while they keep serving, then cuts over
+// behind a bounded write pause (searches are never paused; mutations
+// that race the cutover are retried onto the new topology). Progress is
+// reported in /v1/stats and the ngfix_reshard_* families. The -reshard
+// flag runs the same split offline against a quiesced directory.
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -61,6 +71,7 @@ import (
 	"ngfix/internal/replica"
 	"ngfix/internal/server"
 	"ngfix/internal/shard"
+	"ngfix/internal/shard/reshard"
 	"ngfix/internal/vec"
 )
 
@@ -88,7 +99,8 @@ func run(args []string) int {
 	repairMaxInterval := fl.Duration("repair-max-interval", 0, "cadence ceiling repair stretches toward under admission pressure (0 means 16x -fix-interval)")
 	repairMinBatch := fl.Int("repair-min-batch", 8, "smallest fix batch the controller pays admission for before deferring a tick (adaptive mode)")
 	snapDir := fl.String("snapshot-dir", "", "directory for snapshots + op log (enables crash safety and recovery)")
-	shards := fl.Int("shards", 1, "shard count: each shard gets its own fixer, op log, and snapshot subdirectory; searches scatter-gather (fixed at build time — a sharded -snapshot-dir pins it)")
+	shards := fl.Int("shards", 1, "shard count: each shard gets its own fixer, op log, and snapshot subdirectory; searches scatter-gather (a sharded -snapshot-dir pins it; grow it N→2N with /v1/reshard or -reshard)")
+	reshardFlag := fl.Bool("reshard", false, "offline maintenance: double -snapshot-dir's shard count (N→2N) and exit; the directory must hold existing state and no server may be running over it")
 	snapEvery := fl.Int("snapshot-every", 8, "automatic snapshot every N fix batches (0 disables; needs -snapshot-dir)")
 	snapOps := fl.Int("snapshot-ops", 4096, "automatic snapshot every M inserts+deletes (0 disables; needs -snapshot-dir)")
 	oplog := fl.Bool("oplog", true, "journal inserts/deletes/fix batches between snapshots (needs -snapshot-dir)")
@@ -126,6 +138,11 @@ func run(args []string) int {
 		}
 	})
 
+	// Offline reshard mode: split, report, exit — no listener.
+	if *reshardFlag {
+		return runReshardCLI(*snapDir, *shards, shardsFlagSet, core.Options{LEx: *lex})
+	}
+
 	var reg *obs.Registry
 	if *metricsOn {
 		reg = obs.NewRegistry()
@@ -142,19 +159,23 @@ func run(args []string) int {
 		})
 	}
 
-	// --- Shard count resolution: a sharded snapshot dir pins the count
-	// via its manifest (routing is a function of it); a legacy dir is one
-	// shard; a fresh dir takes the flag.
+	// --- Topology resolution: a sharded snapshot dir pins its shard count
+	// and epoch via the manifest (routing is a function of the count, and
+	// a committed reshard moves the tree under epoch-<e>/); a legacy dir
+	// is one shard; a fresh dir takes the flag. Any crashed reshard is
+	// resolved here first — to exactly the old or the new topology.
 	n := *shards
+	var layout persist.Layout
 	var stores []*persist.Store
 	if *snapDir != "" {
 		var err error
-		n, err = persist.ResolveShards(nil, *snapDir, *shards, shardsFlagSet)
+		layout, err = persist.ResolveLayout(nil, *snapDir, *shards, shardsFlagSet)
 		if err != nil {
 			log.Print(err)
 			return 1
 		}
-		stores, err = persist.OpenSharded(*snapDir, n, persist.Options{})
+		n = layout.Shards
+		stores, err = persist.OpenShardedAt(*snapDir, n, layout.Epoch, persist.Options{})
 		if err != nil {
 			log.Printf("open snapshot dir: %v", err)
 			return 1
@@ -237,23 +258,11 @@ func run(args []string) int {
 		return 1
 	}
 
-	fixers := make([]*core.OnlineFixer, len(ixs))
-	for i, ix := range ixs {
-		var wal core.WAL
-		if len(stores) > 0 {
-			if *oplog {
-				wal = stores[i]
-			} else {
-				wal = snapshotOnly{stores[i]}
-			}
-		}
-		fixers[i] = core.NewOnlineFixer(ix, core.OnlineConfig{
-			BatchSize: *batch, SampleEvery: *sample, AutoFix: *autofix,
-			WAL:                  wal,
-			SnapshotEveryBatches: *snapEvery, SnapshotEveryMutations: *snapOps,
-			Metrics: fixerReg(i),
-		})
+	fixCfg := fixerSettings{
+		opts: opts, batch: *batch, sample: *sample, autofix: *autofix,
+		oplog: *oplog, snapEvery: *snapEvery, snapOps: *snapOps,
 	}
+	fixers := fixCfg.build(stores, ixs, fixerReg)
 	if len(stores) > 0 && !*oplog {
 		log.Print("op log disabled (-oplog=false): mutations between snapshots will not survive a crash")
 	}
@@ -262,37 +271,11 @@ func run(args []string) int {
 	// only the WAL-replayed tail against the frozen codebooks — codes stay
 	// bit-identical across the crash); train only when no generation has
 	// one or the sidecar cannot describe the recovered graph.
-	if *pqOn {
-		for i, f := range fixers {
-			pcfg := core.PQConfig{M: *pqM, KS: *pqKS, RerankFactor: *pqRerank}
-			if len(stores) > 0 && *pqTier {
-				pcfg.TierPath = filepath.Join(stores[i].Dir(), "vectors.tier")
-			}
-			attached := false
-			if recovered {
-				switch q, err := stores[i].LoadPQ(); {
-				case err == nil:
-					if aerr := f.AttachPQ(q, pcfg); aerr != nil {
-						log.Printf("shard %d: pq sidecar rejected (%v); retraining", i, aerr)
-					} else {
-						attached = true
-					}
-				case errors.Is(err, persist.ErrNoPQ):
-					// Sealed without PQ — train below.
-				default:
-					log.Printf("shard %d: pq sidecar unreadable (%v); retraining", i, err)
-				}
-			}
-			if !attached {
-				if err := f.EnablePQ(pcfg); err != nil {
-					log.Printf("shard %d: enable pq: %v", i, err)
-					return 1
-				}
-			}
-			st, _ := f.PQStats()
-			log.Printf("shard %d: pq serving %s (m=%d ks=%d rerank=%dx): resident %d bytes vs %d full-precision",
-				i, map[bool]string{true: "recovered", false: "trained"}[attached],
-				st.M, st.KS, st.Rerank, st.ResidentBytes, st.FullVectorBytes)
+	pqCfg := pqSettings{on: *pqOn, m: *pqM, ks: *pqKS, rerank: *pqRerank, tier: *pqTier}
+	if pqCfg.on {
+		if err := wirePQ(fixers, stores, pqCfg, recovered); err != nil {
+			log.Print(err)
+			return 1
 		}
 	}
 
@@ -317,10 +300,12 @@ func run(args []string) int {
 
 	s := server.NewSharded(group)
 	if len(stores) > 0 {
-		s.SnapshotFunc = group.Snapshot
+		// Closures load the current group: a live reshard swaps it, and
+		// snapshots must land on the topology actually serving.
+		s.SnapshotFunc = func() error { return s.Group().Snapshot() }
 		// Any persisted server can feed followers: the replication
 		// endpoints read only the store, never the fixers' locks.
-		s.Stores = stores
+		s.SetStores(stores)
 	}
 	var replicaSet *replica.Set
 	if *selfReplica {
@@ -377,7 +362,7 @@ func run(args []string) int {
 			// cores from serving, which admission gating alone can't ensure.
 			adaptive = policy.NewAdaptive(group.Dim(), policy.AdaptiveConfig{Metric: gm, Seed: 11},
 				func(q []float32, k, ef int) []graph.Result {
-					res, _ := group.SearchCtx(context.Background(), q, k, ef, 1)
+					res, _ := s.Group().SearchCtx(context.Background(), q, k, ef, 1)
 					return res
 				})
 		}
@@ -391,10 +376,49 @@ func run(args []string) int {
 			acquire = func() (func(), bool) { return adm.TryAcquire(adm.FixCost(1)) }
 		}
 		eng := policy.NewEngine(policy.NewCache(*answerCacheSize), adaptive, augmenter,
-			group.RecordSynthetic, acquire)
+			func(qs *vec.Matrix) int { return s.Group().RecordSynthetic(qs) }, acquire)
 		s.EnablePolicy(eng)
 		log.Printf("policy layer enabled: adaptive-ef=%v answer-cache-size=%d augment-rate=%g",
 			*adaptiveEF, *answerCacheSize, *augmentRate)
+	}
+
+	// Background repair runs behind a restartable wrapper so the reshard
+	// cutover can quiesce it and restart it on the post-split topology.
+	maint := &maintenance{
+		s: s, interval: *interval, legacy: *repairMode == "interval",
+		repairCfg: repair.Config{
+			Interval:    *interval,
+			MaxInterval: *repairMaxInterval,
+			ThetaHi:     *repairThetaHi,
+			ThetaLo:     *repairThetaLo,
+			Dwell:       *repairDwell,
+			MinBatch:    *repairMinBatch,
+		},
+	}
+
+	// Live resharding needs the stores (the split is durable-first) and
+	// owns the whole serving-stack swap; wire before EnableMetrics so the
+	// ngfix_reshard_* families register.
+	var mgr *reshardManager
+	if len(stores) > 0 {
+		if *selfReplica {
+			// Replicas tail specific parent stores; retiring those under a
+			// running replica set is not supported yet.
+			s.ReshardFunc = func() (int, int, error) {
+				return 0, 0, errors.New("live resharding with -self-replica is not supported; restart without it to reshard")
+			}
+		} else {
+			asm := &assembler{s: s, maint: maint, adm: s.Admission, reg: reg, fix: fixCfg, pq: pqCfg}
+			mgr = &reshardManager{
+				s: s, asm: asm, maint: maint,
+				root: *snapDir, opts: opts, layout: layout, stores: stores,
+			}
+			if s.Admission != nil {
+				mgr.acquire = s.Admission.TryAcquire
+			}
+			s.ReshardFunc = mgr.Start
+			s.ReshardProgress = mgr.Progress
+		}
 	}
 	if reg != nil {
 		s.EnableMetrics(reg, shardRegs...) // also wires the admission controller's families
@@ -425,34 +449,22 @@ func run(args []string) int {
 	// shutdown, context-stopped background fixer.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	maint.base = ctx
+	if mgr != nil {
+		mgr.base = ctx // shutdown cancels ctx, aborting any live reshard
+	}
 
 	if replicaSet != nil {
 		go replicaSet.Run(ctx)
 	}
 
 	if *interval > 0 {
-		if *repairMode == "interval" {
-			// Escape hatch: the pre-controller fixed cadence, unchanged.
-			go group.RunBackground(ctx, *interval, log.Printf)
-		} else {
-			ctls := make([]*repair.Controller, group.Shards())
-			for i := range ctls {
-				ctls[i] = repair.New(i, group.Fixer(i), s.Admission, repair.Config{
-					Interval:    *interval,
-					MaxInterval: *repairMaxInterval,
-					ThetaHi:     *repairThetaHi,
-					ThetaLo:     *repairThetaLo,
-					Dwell:       *repairDwell,
-					MinBatch:    *repairMinBatch,
-				})
-				if r := fixerReg(i); r != nil {
-					ctls[i].RegisterMetrics(r)
-				}
-			}
-			fleet := repair.NewFleet(ctls...)
-			s.Repair = fleet
-			go fleet.Run(ctx, log.Printf)
+		if !maint.legacy {
+			fleet := maint.buildFleet(group, s.Admission, fixerReg)
+			s.SetRepair(fleet)
+			maint.fleet = fleet
 		}
+		maint.start()
 	}
 
 	srv := &http.Server{
@@ -482,7 +494,8 @@ func run(args []string) int {
 	}
 	stop() // restore default signal handling: a second signal kills hard
 
-	// Drain: stop advertising readiness, finish in-flight requests.
+	// Drain: stop advertising readiness, finish in-flight requests, and
+	// let any live reshard observe the canceled context and abort.
 	log.Printf("shutdown signal received, draining (timeout %s)", *drainTimeout)
 	s.StartDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -490,21 +503,27 @@ func run(args []string) int {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("drain incomplete: %v", err)
 	}
+	if mgr != nil {
+		mgr.Await(shutCtx)
+	}
 
 	// Fold any still-pending recorded queries into the graph, then make
-	// the final state durable.
-	if rep, err := group.FixPendingChecked(); err != nil {
+	// the final state durable. Re-read group and stores: a reshard may
+	// have swapped both since startup.
+	finalGroup := s.Group()
+	finalStores := s.Stores()
+	if rep, err := finalGroup.FixPendingChecked(); err != nil {
 		log.Printf("final fix: %v", err)
 	} else if rep.Queries > 0 {
 		log.Printf("final fix: %d queries, +%d edges", rep.Queries, rep.NGFixEdges+rep.RFixEdges)
 	}
-	if len(stores) > 0 {
-		if err := group.Snapshot(); err != nil {
+	if len(finalStores) > 0 {
+		if err := finalGroup.Snapshot(); err != nil {
 			log.Printf("final snapshot: %v", err)
 			return 1
 		}
-		gens := make([]string, len(stores))
-		for i, st := range stores {
+		gens := make([]string, len(finalStores))
+		for i, st := range finalStores {
 			if err := st.Close(); err != nil {
 				log.Printf("close store shard %d: %v", i, err)
 				return 1
@@ -513,7 +532,415 @@ func run(args []string) int {
 		}
 		log.Printf("final snapshot written (generation %s)", strings.Join(gens, ","))
 	}
+	if mgr != nil {
+		mgr.CloseRetired()
+	}
 	log.Print("shutdown complete")
+	return 0
+}
+
+// fixerSettings is the flag-derived online-fixer wiring, kept as a value
+// because the reshard assembler replays it for every post-split child.
+type fixerSettings struct {
+	opts               core.Options
+	batch, sample      int
+	autofix            bool
+	oplog              bool
+	snapEvery, snapOps int
+}
+
+// build wraps each index in an online fixer wired to its store's WAL
+// (or the snapshot-only shim with -oplog=false) and its shard's metric
+// registry. stores may be empty (in-memory serving).
+func (c fixerSettings) build(stores []*persist.Store, ixs []*core.Index, regAt func(int) *obs.Registry) []*core.OnlineFixer {
+	fixers := make([]*core.OnlineFixer, len(ixs))
+	for i, ix := range ixs {
+		var wal core.WAL
+		if len(stores) > 0 {
+			if c.oplog {
+				wal = stores[i]
+			} else {
+				wal = snapshotOnly{stores[i]}
+			}
+		}
+		fixers[i] = core.NewOnlineFixer(ix, core.OnlineConfig{
+			BatchSize: c.batch, SampleEvery: c.sample, AutoFix: c.autofix,
+			WAL:                  wal,
+			SnapshotEveryBatches: c.snapEvery, SnapshotEveryMutations: c.snapOps,
+			Metrics: regAt(i),
+		})
+	}
+	return fixers
+}
+
+// pqSettings is the flag-derived compressed-serving wiring.
+type pqSettings struct {
+	on            bool
+	m, ks, rerank int
+	tier          bool
+}
+
+// wirePQ enables compressed serving on every fixer, preferring the
+// store's sealed sidecar when preferSidecar (recovery and post-reshard
+// children: codes stay bit-identical, no retraining) and training fresh
+// codebooks only when there is none or it cannot describe the graph.
+func wirePQ(fixers []*core.OnlineFixer, stores []*persist.Store, cfg pqSettings, preferSidecar bool) error {
+	for i, f := range fixers {
+		pcfg := core.PQConfig{M: cfg.m, KS: cfg.ks, RerankFactor: cfg.rerank}
+		if len(stores) > 0 && cfg.tier {
+			pcfg.TierPath = filepath.Join(stores[i].Dir(), "vectors.tier")
+		}
+		attached := false
+		if preferSidecar && len(stores) > 0 {
+			switch q, err := stores[i].LoadPQ(); {
+			case err == nil:
+				if aerr := f.AttachPQ(q, pcfg); aerr != nil {
+					log.Printf("shard %d: pq sidecar rejected (%v); retraining", i, aerr)
+				} else {
+					attached = true
+				}
+			case errors.Is(err, persist.ErrNoPQ):
+				// Sealed without PQ — train below.
+			default:
+				log.Printf("shard %d: pq sidecar unreadable (%v); retraining", i, err)
+			}
+		}
+		if !attached {
+			if err := f.EnablePQ(pcfg); err != nil {
+				return fmt.Errorf("shard %d: enable pq: %w", i, err)
+			}
+		}
+		st, _ := f.PQStats()
+		log.Printf("shard %d: pq serving %s (m=%d ks=%d rerank=%dx): resident %d bytes vs %d full-precision",
+			i, map[bool]string{true: "recovered", false: "trained"}[attached],
+			st.M, st.KS, st.Rerank, st.ResidentBytes, st.FullVectorBytes)
+	}
+	return nil
+}
+
+// maintenance owns the background repair lifecycle so a reshard can
+// quiesce it for the cutover window and restart it — on whatever group
+// is serving by then. Adaptive mode runs the controller fleet (swapped
+// per topology via setFleet); legacy interval mode runs the group's
+// fixed cadence loop.
+type maintenance struct {
+	s         *server.Server
+	interval  time.Duration
+	legacy    bool // -repair-mode=interval
+	repairCfg repair.Config
+	base      context.Context
+
+	mu     sync.Mutex
+	fleet  *repair.Fleet
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// buildFleet creates one adaptive controller per shard of grp, metrics
+// registered on its shard's registry. Nil in legacy mode or when
+// background repair is off.
+func (m *maintenance) buildFleet(grp *shard.Group, adm *admission.Controller, regAt func(int) *obs.Registry) *repair.Fleet {
+	if m.interval <= 0 || m.legacy {
+		return nil
+	}
+	ctls := make([]*repair.Controller, grp.Shards())
+	for i := range ctls {
+		ctls[i] = repair.New(i, grp.Fixer(i), adm, m.repairCfg)
+		if r := regAt(i); r != nil {
+			ctls[i].RegisterMetrics(r)
+		}
+	}
+	return repair.NewFleet(ctls...)
+}
+
+// setFleet swaps in the post-reshard fleet the next start will run.
+func (m *maintenance) setFleet(f *repair.Fleet) {
+	m.mu.Lock()
+	m.fleet = f
+	m.mu.Unlock()
+}
+
+// start launches background repair for the current serving group; a
+// no-op when repair is off or already running.
+func (m *maintenance) start() {
+	if m.interval <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cancel != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(m.base)
+	done := make(chan struct{})
+	if m.legacy {
+		grp := m.s.Group()
+		go func() {
+			defer close(done)
+			grp.RunBackground(ctx, m.interval, log.Printf)
+		}()
+	} else if m.fleet != nil {
+		fleet := m.fleet
+		go func() {
+			defer close(done)
+			fleet.Run(ctx, log.Printf)
+		}()
+	} else {
+		cancel()
+		return
+	}
+	m.cancel, m.done = cancel, done
+}
+
+// stop halts background repair and waits for its loops to exit — the
+// reshard cutover's quiesce. No-op when not running.
+func (m *maintenance) stop() {
+	m.mu.Lock()
+	cancel, done := m.cancel, m.done
+	m.cancel, m.done = nil, nil
+	m.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	<-done
+}
+
+// assembler rebuilds the serving layer for a post-split topology — the
+// same wiring startup does, replayed over the child stores and indexes:
+// fixers with WAL and snapshot cadence, per-shard telemetry registries,
+// PQ attach from the sidecars the coordinator sealed, and a fresh repair
+// fleet. Assemble runs pre-commit (a failure aborts the reshard);
+// Install runs post-commit and flips every serving-path pointer.
+type assembler struct {
+	s     *server.Server
+	maint *maintenance
+	adm   *admission.Controller
+	reg   *obs.Registry // global registry; nil with -metrics=false
+	fix   fixerSettings
+	pq    pqSettings
+
+	// Staged between Assemble and Install by the single reshard run.
+	regs  []*obs.Registry
+	fleet *repair.Fleet
+}
+
+func (a *assembler) Assemble(stores []*persist.Store, ixs []*core.Index) (*shard.Group, error) {
+	n := len(stores)
+	var regs []*obs.Registry
+	regAt := func(int) *obs.Registry { return nil }
+	if a.reg != nil {
+		// Post-split is always multi-shard, so children get labeled
+		// registries even when the parent ran unlabeled single-shard.
+		regs = make([]*obs.Registry, n)
+		for i := range regs {
+			regs[i] = obs.NewRegistry(obs.Label{Name: "shard", Value: strconv.Itoa(i)})
+		}
+		regAt = func(i int) *obs.Registry { return regs[i] }
+		for i, st := range stores {
+			st.RegisterMetrics(regs[i])
+		}
+	}
+	fixers := a.fix.build(stores, ixs, regAt)
+	if a.pq.on {
+		if err := wirePQ(fixers, stores, a.pq, true); err != nil {
+			return nil, err
+		}
+	}
+	grp, err := shard.NewGroup(fixers)
+	if err != nil {
+		return nil, err
+	}
+	a.regs = regs
+	a.fleet = a.maint.buildFleet(grp, a.adm, regAt)
+	return grp, nil
+}
+
+func (a *assembler) Install(g *shard.Group, stores []*persist.Store) {
+	a.s.SwapGroup(g)
+	a.s.SetStores(stores)
+	a.s.SetShardRegistries(a.regs...)
+	a.s.SetRepair(a.fleet)
+	a.maint.setFleet(a.fleet)
+}
+
+// reshardManager serializes live resharding behind POST /v1/reshard:
+// one run at a time, finished runs' totals folded into Progress so the
+// ngfix_reshard_* counter families stay monotonic across consecutive
+// doublings, and retired parent stores closed at shutdown (straggler
+// requests may briefly hold them after a cutover).
+type reshardManager struct {
+	s     *server.Server
+	asm   *assembler
+	maint *maintenance
+	root  string
+	opts  core.Options
+	// acquire throttles streaming/tailing work through admission.
+	acquire func(cost int) (release func(), ok bool)
+	// base is the process-lifetime context; shutdown cancels it, which
+	// aborts a live reshard back to the old topology.
+	base context.Context
+
+	mu      sync.Mutex
+	running bool
+	cur     *reshard.Resharder
+	layout  persist.Layout
+	stores  []*persist.Store
+	retired []*persist.Store
+	acc     reshard.Progress // finished runs' counter totals
+}
+
+// Start kicks off one N→2N split in the background and reports the
+// topology change, or ErrReshardInProgress while one is running.
+func (m *reshardManager) Start() (from, to int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.running {
+		return 0, 0, server.ErrReshardInProgress
+	}
+	if m.cur != nil {
+		// Fold the finished run into the monotonic totals before its
+		// Progress is replaced by the new run's.
+		p := m.cur.Progress()
+		m.acc.RowsStreamed += p.RowsStreamed
+		m.acc.OpsTailed += p.OpsTailed
+		m.acc.OpsDiscarded += p.OpsDiscarded
+		m.acc.Resyncs += p.Resyncs
+		m.acc.CutoverAttempts += p.CutoverAttempts
+		m.cur = nil
+	}
+	layout, stores := m.layout, m.stores
+	r, err := reshard.New(reshard.Config{
+		Root: m.root, Stores: stores, Layout: layout,
+		Opts:    m.opts,
+		Group:   m.s.Group(),
+		Acquire: m.acquire,
+		Quiesce: func() func() {
+			m.maint.stop()
+			return m.maint.start
+		},
+		Assemble: m.asm.Assemble,
+		Install:  m.asm.Install,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	m.cur, m.running = r, true
+	go m.drive(r, layout, stores)
+	return layout.Shards, 2 * layout.Shards, nil
+}
+
+func (m *reshardManager) drive(r *reshard.Resharder, old persist.Layout, oldStores []*persist.Store) {
+	err := r.Run(m.base)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running = false
+	if err != nil {
+		log.Printf("reshard: %v", err)
+		return
+	}
+	m.layout = persist.Layout{Shards: 2 * old.Shards, Epoch: old.Epoch + 1}
+	m.stores = m.s.Stores() // Install swapped these to the children
+	m.retired = append(m.retired, oldStores...)
+}
+
+// Progress is the /v1/stats and metrics view: the current (or most
+// recent) run's counters plus every earlier run's totals.
+func (m *reshardManager) Progress() reshard.Progress {
+	m.mu.Lock()
+	cur, acc, layout := m.cur, m.acc, m.layout
+	m.mu.Unlock()
+	p := reshard.Progress{State: reshard.StateIdle, FromShards: layout.Shards, ToShards: 2 * layout.Shards}
+	if cur != nil {
+		p = cur.Progress()
+	}
+	p.RowsStreamed += acc.RowsStreamed
+	p.OpsTailed += acc.OpsTailed
+	p.OpsDiscarded += acc.OpsDiscarded
+	p.Resyncs += acc.Resyncs
+	p.CutoverAttempts += acc.CutoverAttempts
+	return p
+}
+
+// Await blocks until no reshard is running or ctx expires. The shutdown
+// path calls it after canceling base, so a live run is already aborting.
+func (m *reshardManager) Await(ctx context.Context) {
+	for {
+		m.mu.Lock()
+		running := m.running
+		m.mu.Unlock()
+		if !running {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			log.Print("shutdown: reshard still winding down after the drain window")
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// CloseRetired closes parent stores retired by committed reshards.
+// Deferred to shutdown because straggler requests that captured the old
+// group may still read them briefly after a cutover.
+func (m *reshardManager) CloseRetired() {
+	m.mu.Lock()
+	retired := m.retired
+	m.retired = nil
+	m.mu.Unlock()
+	for _, st := range retired {
+		st.Close()
+	}
+}
+
+// runReshardCLI is the offline -reshard mode: split every shard of a
+// quiesced snapshot directory in two and exit. Same coordinator as the
+// live path, minus a serving group — the WALs are static, so streaming
+// catches up immediately and there is nothing to pause or install.
+func runReshardCLI(root string, flagShards int, flagSet bool, opts core.Options) int {
+	if root == "" {
+		log.Print("-reshard needs -snapshot-dir (it doubles an existing on-disk topology)")
+		return 1
+	}
+	layout, err := persist.ResolveLayout(nil, root, flagShards, flagSet)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	stores, err := persist.OpenShardedAt(root, layout.Shards, layout.Epoch, persist.Options{})
+	if err != nil {
+		log.Printf("open snapshot dir: %v", err)
+		return 1
+	}
+	defer func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}()
+	for i, st := range stores {
+		if !st.HasState() {
+			log.Printf("shard %d of %s holds no state to reshard (build or serve into it first)", i, root)
+			return 1
+		}
+	}
+	r, err := reshard.New(reshard.Config{
+		Root: root, Stores: stores, Layout: layout, Opts: opts, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := r.Run(ctx); err != nil {
+		log.Printf("reshard: %v", err)
+		return 1
+	}
+	p := r.Progress()
+	log.Printf("reshard complete: %d→%d shards (epoch %d), %d rows streamed",
+		layout.Shards, 2*layout.Shards, layout.Epoch+1, p.RowsStreamed)
 	return 0
 }
 
@@ -537,16 +964,18 @@ type followerConfig struct {
 // bootstrapped and within -replica-lag-max.
 func runFollower(cfg followerConfig) int {
 	n := cfg.shards
+	epoch := 0
 	overHTTP := strings.HasPrefix(cfg.target, "http://") || strings.HasPrefix(cfg.target, "https://")
 	if !overHTTP {
-		// A leader directory pins its shard count via the manifest, same
-		// as the leader itself resolves it.
-		var err error
-		n, err = persist.ResolveShards(nil, cfg.target, cfg.shards, cfg.shardsFlagSet)
+		// A leader directory pins its shard count and epoch via the
+		// manifest. Peek, don't resolve: the leader owns that tree, and a
+		// read-only follower must never GC a reshard in flight there.
+		l, err := persist.PeekLayout(nil, cfg.target, cfg.shards, cfg.shardsFlagSet)
 		if err != nil {
 			log.Print(err)
 			return 1
 		}
+		n, epoch = l.Shards, l.Epoch
 	}
 	if n < 1 {
 		log.Printf("-shards must be at least 1, got %d", n)
@@ -562,10 +991,10 @@ func runFollower(cfg followerConfig) int {
 		var src replica.Source
 		if overHTTP {
 			src = replica.HTTPSource{Base: strings.TrimRight(cfg.target, "/"), Shard: i}
-		} else if n == 1 {
+		} else if n == 1 && epoch == 0 {
 			src = replica.DirSource{Dir: cfg.target}
 		} else {
-			src = replica.DirSource{Dir: persist.ShardDir(cfg.target, i)}
+			src = replica.DirSource{Dir: persist.ShardDirAt(cfg.target, epoch, i)}
 		}
 		reps[i] = replica.New(src, replica.Config{
 			Shard: i, Opts: cfg.opts, LagMax: cfg.lagMax, Poll: cfg.poll,
@@ -607,7 +1036,7 @@ func runFollower(cfg followerConfig) int {
 		log.Printf("listen: %v", err)
 		return 1
 	}
-	log.Printf("following %s on %s (%d shard replica(s), lag max %d bytes)", cfg.target, ln.Addr(), n, cfg.lagMax)
+	log.Printf("following %s on %s (%d shard replica(s), epoch %d, lag max %d bytes)", cfg.target, ln.Addr(), n, epoch, cfg.lagMax)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 

@@ -221,10 +221,24 @@ func TestMetricsShardLabels(t *testing.T) {
 		`ngfix_repair_deferred_total{shard="1"}`,
 		`ngfix_repair_cost_units_total{shard="0"}`,
 		`ngfix_repair_unreachable_ewma{shard="1"}`,
+		// The reshard coordinator (wired whenever persistence is on)
+		// registers under shard="all" and idles until POST /v1/reshard.
+		`ngfix_reshard_active{shard="all"}`,
+		`ngfix_reshard_state{shard="all",state="idle"}`,
+		`ngfix_reshard_rows_streamed_total{shard="all"}`,
+		`ngfix_reshard_ops_tailed_total{shard="all"}`,
+		`ngfix_reshard_ops_discarded_total{shard="all"}`,
+		`ngfix_reshard_cutover_attempts_total{shard="all"}`,
 	} {
 		if _, ok := samples[key]; !ok {
 			t.Errorf("missing %s in sharded exposition", key)
 		}
+	}
+	if got := samples[`ngfix_reshard_state{shard="all",state="idle"}`]; got != 1 {
+		t.Errorf(`ngfix_reshard_state{state="idle"} = %v before any reshard, want 1`, got)
+	}
+	if got := samples[`ngfix_reshard_active{shard="all"}`]; got != 0 {
+		t.Errorf(`ngfix_reshard_active = %v before any reshard, want 0`, got)
 	}
 	p.terminate(t)
 }

@@ -70,6 +70,13 @@ type OnlineFixer struct {
 	walErrs      int
 	lastWALErr   error
 
+	// snapSuspended pauses the automatic snapshot cadence (explicit
+	// Snapshot calls are unaffected). A live reshard sets it so the
+	// parent's generation stays put while children stream the current
+	// snapshot + WAL tail; a generation bump mid-stream would force every
+	// child into a full resync.
+	snapSuspended atomic.Bool
+
 	// unreachableEWMA tracks the unreachable-before rate (fraction of a
 	// batch's queries whose NN pair RFix found unreachable, pre-repair)
 	// smoothed across recent batches — the navigability signal a repair
@@ -707,8 +714,19 @@ func (o *OnlineFixer) snapshotHoldingPmu() error {
 // snapshot. Caller holds mu; the snapshot itself must run after releasing
 // it (see snapshotHoldingPmu).
 func (o *OnlineFixer) wantSnapshotLocked() bool {
+	if o.snapSuspended.Load() {
+		return false
+	}
 	return (o.snapBatches > 0 && o.sinceBatches >= o.snapBatches) ||
 		(o.snapMuts > 0 && o.sinceMuts >= o.snapMuts)
+}
+
+// SuspendAutoSnapshots pauses (true) or resumes (false) the automatic
+// snapshot cadence. Counters keep accumulating while suspended, so the
+// next mutation after resuming triggers any overdue snapshot. Explicit
+// Snapshot calls are never blocked.
+func (o *OnlineFixer) SuspendAutoSnapshots(v bool) {
+	o.snapSuspended.Store(v)
 }
 
 func (o *OnlineFixer) noteWALErr(err error) {

@@ -292,7 +292,7 @@ func TestSlowQueryLogThreshold(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("lines = %v", lines)
 	}
-	want := "slow-query id=2 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=none policy=none ndc=1234 adc=5678 hops=57 truncated=false clamped=true durMs=12.345"
+	want := "slow-query id=2 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=none policy=none reshard=none ndc=1234 adc=5678 hops=57 truncated=false clamped=true durMs=12.345"
 	if lines[0] != want {
 		t.Fatalf("line format drifted:\n got %q\nwant %q", lines[0], want)
 	}

@@ -41,7 +41,12 @@ type SlowQuery struct {
 	// ("cache_hit" | "adaptive_ef" | "augmented", or "none" without a
 	// policy layer) — a slow line with policy=cache_hit points at cache
 	// contention, one with adaptive_ef at a miscalibrated band.
-	Policy   string
+	Policy string
+	// Reshard is the live reshard's phase while the query ran
+	// ("streaming" | "tailing" | "cutover", or "none") — a slow line
+	// during cutover is contending with the drain barrier, one during
+	// streaming with child bootstrap I/O.
+	Reshard  string
 	Duration time.Duration
 }
 
@@ -58,7 +63,7 @@ const (
 //
 // Line format (one line, stable key order, parseable as logfmt):
 //
-//	slow-query id=42 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=steady policy=none ndc=1234 adc=5678 hops=57 truncated=false clamped=true durMs=12.345
+//	slow-query id=42 k=10 ef=100 efUsed=80 ef_clamped_by=admission repair=steady policy=none reshard=none ndc=1234 adc=5678 hops=57 truncated=false clamped=true durMs=12.345
 type SlowQueryLog struct {
 	// Threshold gates emission: only queries with Duration >= Threshold
 	// are logged. <= 0 disables the log.
@@ -71,16 +76,16 @@ type SlowQueryLog struct {
 
 // ParseSlowQuery parses one slow-query logfmt line (as emitted by
 // Observe, with or without a leading log prefix) back into a SlowQuery.
-// Lines from before the policy= or adc= fields parse with Policy "none"
-// and ADC 0, so log pipelines handle mixed-version fleets; unknown keys
-// are rejected — a typo'd dashboard query should fail loudly, not read
-// zeros.
+// Lines from before the policy=, reshard=, or adc= fields parse with
+// those defaulted ("none" / 0), so log pipelines handle mixed-version
+// fleets; unknown keys are rejected — a typo'd dashboard query should
+// fail loudly, not read zeros.
 func ParseSlowQuery(line string) (SlowQuery, error) {
 	i := strings.Index(line, "slow-query ")
 	if i < 0 {
 		return SlowQuery{}, fmt.Errorf("obs: not a slow-query line: %q", line)
 	}
-	q := SlowQuery{ClampedBy: ClampNone, Repair: "none", Policy: "none"}
+	q := SlowQuery{ClampedBy: ClampNone, Repair: "none", Policy: "none", Reshard: "none"}
 	for _, field := range strings.Fields(line[i+len("slow-query "):]) {
 		key, val, ok := strings.Cut(field, "=")
 		if !ok {
@@ -102,6 +107,8 @@ func ParseSlowQuery(line string) (SlowQuery, error) {
 			q.Repair = val
 		case "policy":
 			q.Policy = val
+		case "reshard":
+			q.Reshard = val
 		case "ndc":
 			q.NDC, err = strconv.ParseInt(val, 10, 64)
 		case "adc":
@@ -155,8 +162,12 @@ func (l *SlowQueryLog) Observe(q SlowQuery) bool {
 		if policy == "" {
 			policy = "none"
 		}
-		l.Logf("slow-query id=%d k=%d ef=%d efUsed=%d ef_clamped_by=%s repair=%s policy=%s ndc=%d adc=%d hops=%d truncated=%t clamped=%t durMs=%.3f",
-			q.ID, q.K, q.EF, q.EFUsed, by, repair, policy, q.NDC, q.ADC, q.Hops, q.Truncated, q.Clamped,
+		reshard := q.Reshard
+		if reshard == "" {
+			reshard = "none"
+		}
+		l.Logf("slow-query id=%d k=%d ef=%d efUsed=%d ef_clamped_by=%s repair=%s policy=%s reshard=%s ndc=%d adc=%d hops=%d truncated=%t clamped=%t durMs=%.3f",
+			q.ID, q.K, q.EF, q.EFUsed, by, repair, policy, reshard, q.NDC, q.ADC, q.Hops, q.Truncated, q.Clamped,
 			float64(q.Duration)/float64(time.Millisecond))
 	}
 	return true

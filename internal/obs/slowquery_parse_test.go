@@ -19,6 +19,7 @@ func TestParseSlowQueryRoundTrip(t *testing.T) {
 		{"cache_hit", SlowQuery{ID: 2, K: 10, EF: 100, EFUsed: 100, Policy: "cache_hit", Duration: 15 * time.Millisecond}, "cache_hit"},
 		{"adaptive_ef", SlowQuery{ID: 3, K: 5, EF: 100, EFUsed: 40, Policy: "adaptive_ef", NDC: 321, Hops: 9, Clamped: true, ClampedBy: ClampBudget, Duration: 20 * time.Millisecond}, "adaptive_ef"},
 		{"augmented", SlowQuery{ID: 4, K: 10, EF: 64, EFUsed: 64, Policy: "augmented", Repair: "eager", Truncated: true, Duration: 11 * time.Millisecond}, "augmented"},
+		{"resharding", SlowQuery{ID: 5, K: 10, EF: 100, EFUsed: 100, Reshard: "cutover", NDC: 77, Duration: 13 * time.Millisecond}, "none"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -44,6 +45,13 @@ func TestParseSlowQueryRoundTrip(t *testing.T) {
 			if got.Duration != tc.q.Duration {
 				t.Fatalf("Duration = %v, want %v", got.Duration, tc.q.Duration)
 			}
+			wantReshard := tc.q.Reshard
+			if wantReshard == "" {
+				wantReshard = "none"
+			}
+			if got.Reshard != wantReshard {
+				t.Fatalf("Reshard = %q, want %q", got.Reshard, wantReshard)
+			}
 		})
 	}
 }
@@ -55,7 +63,7 @@ func TestParseSlowQueryCompatAndErrors(t *testing.T) {
 	if err != nil {
 		t.Fatalf("legacy line: %v", err)
 	}
-	if q.Policy != "none" || q.Repair != "steady" || q.EFUsed != 80 {
+	if q.Policy != "none" || q.Reshard != "none" || q.Repair != "steady" || q.EFUsed != 80 {
 		t.Fatalf("legacy parse: %+v", q)
 	}
 	// A log-prefixed line still parses (Observe goes through log.Printf).

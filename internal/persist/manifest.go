@@ -16,12 +16,28 @@ import (
 // at one shard recovers under the old binary.
 const ManifestName = "MANIFEST"
 
+// Manifest versions this binary understands. Version 1 is the original
+// flat layout (shard-<i>/ under the root, or the root itself at one
+// shard). Version 2 adds Epoch: a live reshard doubles the shard count
+// and lands the new shards under epoch-<e>/shard-<i>, so the old and new
+// topologies coexist on disk until the manifest commits the switch.
+const (
+	minManifestVersion = 1
+	maxManifestVersion = 2
+)
+
 // Manifest describes a sharded snapshot directory. The shard count is
-// fixed at build time: routing is a stable function of the vector id and
-// the count, so changing it would strand every previously assigned id.
+// fixed per epoch: routing is a stable function of the vector id and the
+// count, so changing it requires a reshard (see BeginReshard), which
+// doubles the count into a fresh epoch and commits by rewriting this
+// file.
 type Manifest struct {
 	Version int `json:"version"`
 	Shards  int `json:"shards"`
+	// Epoch is the reshard generation: 0 is the original layout, each
+	// committed N→2N reshard increments it and moves the shard
+	// directories under epoch-<e>/. Requires Version ≥ 2.
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // ShardDir returns the directory shard i of a sharded store lives in:
@@ -54,6 +70,21 @@ func ReadManifest(fsys FS, root string) (m Manifest, ok bool, err error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return Manifest{}, false, fmt.Errorf("persist: decode manifest: %w", err)
 	}
+	// Refuse versions we do not understand: a newer binary may have
+	// changed the layout semantics (a post-reshard epoch directory, say),
+	// and serving through a misread manifest silently misroutes ids.
+	// Failing loudly here is the only safe answer.
+	if m.Version < minManifestVersion || m.Version > maxManifestVersion {
+		return Manifest{}, false, fmt.Errorf(
+			"persist: manifest version %d not supported (this binary understands %d..%d); refusing to guess the layout",
+			m.Version, minManifestVersion, maxManifestVersion)
+	}
+	if m.Epoch != 0 && m.Version < 2 {
+		return Manifest{}, false, fmt.Errorf("persist: manifest declares epoch %d at version %d (epochs need version 2)", m.Epoch, m.Version)
+	}
+	if m.Epoch < 0 {
+		return Manifest{}, false, fmt.Errorf("persist: manifest declares negative epoch %d", m.Epoch)
+	}
 	if m.Shards < 1 {
 		return Manifest{}, false, fmt.Errorf("persist: manifest declares %d shards", m.Shards)
 	}
@@ -72,6 +103,12 @@ func WriteManifest(fsys FS, root string, m Manifest) error {
 	}
 	if m.Version == 0 {
 		m.Version = 1
+		if m.Epoch != 0 {
+			m.Version = 2
+		}
+	}
+	if m.Epoch != 0 && m.Version < 2 {
+		return fmt.Errorf("persist: manifest epoch %d needs version 2, got %d", m.Epoch, m.Version)
 	}
 	data, err := json.Marshal(m)
 	if err != nil {
@@ -140,44 +177,140 @@ func OpenSharded(root string, n int, opts Options) ([]*Store, error) {
 	return stores, nil
 }
 
-// ResolveShards decides the effective shard count for root given the
-// -shards flag: a manifest pins the count (a conflicting explicit flag is
-// an error — the count is fixed at build time); a manifest-less directory
-// with state is a legacy single-shard store (an explicit -shards > 1 over
-// it is an error); a fresh directory takes the flag and, above one shard,
+// EpochDir returns the directory epoch e's shard tree lives under.
+// Epoch 0 is the root itself (the original flat layout).
+func EpochDir(root string, epoch int) string {
+	if epoch == 0 {
+		return root
+	}
+	return filepath.Join(root, fmt.Sprintf("epoch-%d", epoch))
+}
+
+// ShardDirAt returns the directory shard i of epoch e lives in. Epoch 0
+// keeps the original layout (shard-<i>/ under the root, or — for the
+// single-shard case resolved by OpenSharded — the root itself); later
+// epochs always use epoch-<e>/shard-<i>, even for one shard.
+func ShardDirAt(root string, epoch, i int) string {
+	if epoch == 0 {
+		return ShardDir(root, i)
+	}
+	return filepath.Join(EpochDir(root, epoch), fmt.Sprintf("shard-%d", i))
+}
+
+// OpenShardedAt is OpenSharded for an explicit epoch: epoch 0 delegates
+// to OpenSharded (keeping the legacy single-shard root layout), later
+// epochs open epoch-<e>/shard-<i> for every shard.
+func OpenShardedAt(root string, n, epoch int, opts Options) ([]*Store, error) {
+	if epoch == 0 {
+		return OpenSharded(root, n, opts)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("persist: shard count %d", n)
+	}
+	stores := make([]*Store, n)
+	for i := range stores {
+		st, err := Open(ShardDirAt(root, epoch, i), opts)
+		if err != nil {
+			return nil, fmt.Errorf("persist: open epoch %d shard %d: %w", epoch, i, err)
+		}
+		stores[i] = st
+	}
+	return stores, nil
+}
+
+// Layout is the resolved on-disk topology of a snapshot root: how many
+// shards, and which epoch directory holds them.
+type Layout struct {
+	Shards int
+	Epoch  int
+}
+
+// ResolveLayout decides the effective topology for root given the
+// -shards flag, resolving any crashed reshard first: a RESHARD intent
+// whose target manifest committed finishes (GC of the old side), one
+// that did not aborts (GC of the staged side) — so recovery always lands
+// on exactly the old or the new topology, never a mix.
+//
+// After that, the usual rules: a manifest pins shard count and epoch (a
+// conflicting explicit flag is an error); a manifest-less directory with
+// state is a legacy single-shard store (an explicit -shards > 1 over it
+// is an error); a fresh directory takes the flag and, above one shard,
 // gets a manifest written before any shard directory exists.
 //
 // flagSet distinguishes "operator typed -shards" from the default, so a
 // bare restart of a 4-shard server needs no flags.
-func ResolveShards(fsys FS, root string, flagShards int, flagSet bool) (int, error) {
+func ResolveLayout(fsys FS, root string, flagShards int, flagSet bool) (Layout, error) {
 	if flagShards < 1 {
-		return 0, fmt.Errorf("persist: -shards must be at least 1, got %d", flagShards)
+		return Layout{}, fmt.Errorf("persist: -shards must be at least 1, got %d", flagShards)
+	}
+	if err := resolveReshardCrash(fsys, root); err != nil {
+		return Layout{}, err
 	}
 	m, ok, err := ReadManifest(fsys, root)
 	if err != nil {
-		return 0, err
+		return Layout{}, err
 	}
 	if ok {
 		if flagSet && flagShards != m.Shards {
-			return 0, fmt.Errorf("persist: %s was built with %d shards; -shards %d cannot change that (routing is a function of the shard count)", root, m.Shards, flagShards)
+			return Layout{}, fmt.Errorf("persist: %s was built with %d shards; -shards %d cannot change that (routing is a function of the shard count; use a reshard to grow it)", root, m.Shards, flagShards)
 		}
-		return m.Shards, nil
+		return Layout{Shards: m.Shards, Epoch: m.Epoch}, nil
 	}
 	// No manifest: probe for legacy single-shard state at the root.
 	probe, err := Open(root, Options{FS: fsys})
 	if err != nil {
-		return 0, err
+		return Layout{}, err
 	}
 	if probe.HasState() {
 		if flagSet && flagShards != 1 {
-			return 0, fmt.Errorf("persist: %s holds single-shard state; it cannot be re-sharded to %d (rebuild into a fresh directory)", root, flagShards)
+			return Layout{}, fmt.Errorf("persist: %s holds single-shard state; it cannot be re-sharded to %d in place by a flag (run a reshard, or rebuild into a fresh directory)", root, flagShards)
 		}
-		return 1, nil
+		return Layout{Shards: 1}, nil
 	}
 	if flagShards > 1 {
 		if err := WriteManifest(fsys, root, Manifest{Shards: flagShards}); err != nil {
-			return 0, err
+			return Layout{}, err
 		}
 	}
-	return flagShards, nil
+	return Layout{Shards: flagShards}, nil
+}
+
+// PeekLayout reads root's topology without resolving reshard crashes
+// and without writing anything — for read-only observers (a follower
+// tailing a leader's directory) that must never mutate a tree another
+// process owns. A pending RESHARD intent is reported as the old
+// topology: until the target manifest commits, that is what the owner's
+// recovery would keep.
+func PeekLayout(fsys FS, root string, flagShards int, flagSet bool) (Layout, error) {
+	if flagShards < 1 {
+		return Layout{}, fmt.Errorf("persist: -shards must be at least 1, got %d", flagShards)
+	}
+	m, ok, err := ReadManifest(fsys, root)
+	if err != nil {
+		return Layout{}, err
+	}
+	if ok {
+		if flagSet && flagShards != m.Shards {
+			return Layout{}, fmt.Errorf("persist: %s is a %d-shard tree; -shards %d conflicts with it", root, m.Shards, flagShards)
+		}
+		return Layout{Shards: m.Shards, Epoch: m.Epoch}, nil
+	}
+	if flagSet && flagShards != 1 {
+		return Layout{}, fmt.Errorf("persist: %s has no manifest (single-shard or empty); -shards %d conflicts with it", root, flagShards)
+	}
+	return Layout{Shards: 1}, nil
+}
+
+// ResolveShards is ResolveLayout for callers that predate epochs. It
+// refuses a post-reshard (epoch > 0) directory so a caller that would
+// open the flat layout fails loudly instead of reading the wrong tree.
+func ResolveShards(fsys FS, root string, flagShards int, flagSet bool) (int, error) {
+	l, err := ResolveLayout(fsys, root, flagShards, flagSet)
+	if err != nil {
+		return 0, err
+	}
+	if l.Epoch != 0 {
+		return 0, fmt.Errorf("persist: %s is at reshard epoch %d; this code path only understands the flat layout (use ResolveLayout)", root, l.Epoch)
+	}
+	return l.Shards, nil
 }

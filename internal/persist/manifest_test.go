@@ -90,6 +90,64 @@ func TestResolveShards(t *testing.T) {
 	}
 }
 
+// TestPeekLayout: the read-only topology probe a follower uses on a
+// directory it does not own — it must report the current (pre-intent)
+// topology and never resolve a reshard crash it finds there.
+func TestPeekLayout(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ResolveShards(nil, dir, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	l, err := PeekLayout(nil, dir, 1, false)
+	if err != nil || l.Shards != 2 || l.Epoch != 0 {
+		t.Fatalf("peek: %+v err=%v", l, err)
+	}
+	// Conflicting explicit flag is refused, matching ResolveShards.
+	if _, err := PeekLayout(nil, dir, 3, true); err == nil {
+		t.Fatal("conflicting -shards accepted")
+	}
+
+	// A reshard in flight: peek reports the OLD topology (the intent is
+	// the leader's business) and leaves both the intent and the staged
+	// epoch untouched — no GC, no writes.
+	in, err := BeginReshard(nil, dir, Layout{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged := filepath.Join(EpochDir(dir, in.ToEpoch), "shard-0")
+	if err := os.MkdirAll(staged, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l, err = PeekLayout(nil, dir, 1, false)
+	if err != nil || l.Shards != 2 || l.Epoch != 0 {
+		t.Fatalf("peek mid-reshard: %+v err=%v", l, err)
+	}
+	if _, ok, err := ReadReshardIntent(nil, dir); err != nil || !ok {
+		t.Fatalf("peek consumed the reshard intent: ok=%v err=%v", ok, err)
+	}
+	if _, err := os.Stat(staged); err != nil {
+		t.Fatalf("peek GC'd the staged epoch: %v", err)
+	}
+	// After commit, peek sees the new topology.
+	if err := CommitReshard(nil, dir, in); err != nil {
+		t.Fatal(err)
+	}
+	l, err = PeekLayout(nil, dir, 1, false)
+	if err != nil || l.Shards != 4 || l.Epoch != 1 {
+		t.Fatalf("peek post-commit: %+v err=%v", l, err)
+	}
+
+	// Manifest-less dir: single-shard default, explicit -shards refused.
+	bare := t.TempDir()
+	l, err = PeekLayout(nil, bare, 1, false)
+	if err != nil || l.Shards != 1 || l.Epoch != 0 {
+		t.Fatalf("bare peek: %+v err=%v", l, err)
+	}
+	if _, err := PeekLayout(nil, bare, 2, true); err == nil {
+		t.Fatal("re-sharding a manifest-less dir accepted by peek")
+	}
+}
+
 func TestOpenShardedLayout(t *testing.T) {
 	root := t.TempDir()
 	stores, err := OpenSharded(root, 3, Options{NoSync: true})

@@ -216,6 +216,21 @@ func (q *Quantizer) AppendRowsFrom(m *vec.Matrix, lo, hi int) {
 	}
 }
 
+// CloneEmpty returns a quantizer sharing this one's frozen codebooks but
+// holding no codes: the form a reshard child starts from, re-encoding its
+// own rows under the parent's centroids so codes stay comparable across
+// the split (row-stable within each child, same codebook everywhere).
+// The centroid matrices are shared, not copied — they are immutable after
+// Train.
+func (q *Quantizer) CloneEmpty() *Quantizer {
+	return &Quantizer{
+		cfg:       q.cfg,
+		dim:       q.dim,
+		sub:       q.sub,
+		centroids: q.centroids,
+	}
+}
+
 // Code returns the code bytes of row i (aliasing internal storage).
 func (q *Quantizer) Code(i int) []byte { return q.codes[i*q.cfg.M : (i+1)*q.cfg.M] }
 

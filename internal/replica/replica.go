@@ -34,6 +34,7 @@ import (
 	"ngfix/internal/graph"
 	"ngfix/internal/persist"
 	"ngfix/internal/shard"
+	"ngfix/internal/vec"
 	"ngfix/internal/xrand"
 )
 
@@ -60,6 +61,37 @@ type Config struct {
 	LagMax int64
 	// Logf (nil to discard) receives bootstrap/resync/error lines.
 	Logf func(format string, args ...interface{})
+
+	// Filter, when set, turns this replica into a *splitting child*: of
+	// the parent's rows, only parent-local ids the filter keeps are
+	// materialized, re-numbered to the returned child-local id. The
+	// filter must keep a dense prefix-free pattern whose kept ids
+	// translate to exactly 0,1,2,… in parent-local order (the Router's
+	// SplitFilter guarantees this), because the child is rebuilt by plain
+	// insertion. Fix-edge records are skipped under a filter — parent
+	// edge ids are meaningless in the child's id space; the child's own
+	// fixers rebuild its extra edges after cutover.
+	Filter func(parentLocal uint32) (childLocal uint32, ok bool)
+	// Journal, when set, persists the child as it builds: the filtered
+	// bootstrap seals a snapshot, and every applied (translated) tail op
+	// is appended — so the child's store replays to exactly the served
+	// index through the same ApplyOp recovery path the leader uses. A
+	// journal failure flips the replica back to not-ready and the next
+	// loop re-bootstraps (the fresh snapshot seals a new generation,
+	// superseding the torn log).
+	Journal Journal
+	// Throttle, when set, is acquired around each chunk of streamed or
+	// tailed work (reshard wires admission costing here so a split can
+	// never starve search). The returned release is called when the
+	// chunk's work is done.
+	Throttle func(rows int) (release func())
+}
+
+// Journal persists a splitting child's state; *persist.Store satisfies
+// it.
+type Journal interface {
+	Snapshot(g *graph.Graph) error
+	Append(op persist.Op) error
 }
 
 // Replica follows one shard. Create with New, drive with Run, read with
@@ -88,6 +120,14 @@ type Replica struct {
 	resyncs   atomic.Int64
 	failovers atomic.Int64
 	applied   atomic.Int64 // records applied over the replica's lifetime
+
+	// Filtered-child state: parentLen counts the parent rows seen so far
+	// (snapshot rows + tailed inserts), which is the parent-local id the
+	// next tailed insert will get; kept/discarded count tail records by
+	// the filter's verdict.
+	parentLen atomic.Int64
+	kept      atomic.Int64
+	discarded atomic.Int64
 
 	errMu   sync.Mutex
 	lastErr string
@@ -174,7 +214,15 @@ func (r *Replica) bootstrap() error {
 	if err != nil {
 		return fmt.Errorf("decode snapshot: %w", err)
 	}
-	ix := core.New(g, r.cfg.Opts)
+	var ix *core.Index
+	if r.cfg.Filter != nil {
+		ix, err = r.buildFiltered(g)
+		if err != nil {
+			return err
+		}
+	} else {
+		ix = core.New(g, r.cfg.Opts)
+	}
 
 	r.mu.Lock()
 	r.ix = ix
@@ -184,8 +232,60 @@ func (r *Replica) bootstrap() error {
 	r.appliedRecords.Store(0)
 	r.mu.Unlock()
 	r.ready.Store(true)
-	r.cfg.Logf("shard %d replica: bootstrapped at generation %d (%d vectors)", r.cfg.Shard, gen, g.Len())
+	r.cfg.Logf("shard %d replica: bootstrapped at generation %d (%d parent vectors)", r.cfg.Shard, gen, g.Len())
 	return nil
+}
+
+// buildFiltered materializes the child index from a parent snapshot:
+// kept rows are re-inserted in parent-local order (the filter's density
+// guarantee means the child's own insert sequence assigns exactly the
+// filter's child-local ids), kept tombstones are inserted then deleted so
+// the id alignment survives, and — when a journal is wired — the result
+// is sealed as the child's first snapshot generation.
+func (r *Replica) buildFiltered(pg *graph.Graph) (*core.Index, error) {
+	const chunk = 256
+	cg := graph.New(vec.NewMatrix(0, pg.Dim()), pg.Metric)
+	ix := core.New(cg, r.cfg.Opts)
+	for lo := 0; lo < pg.Len(); lo += chunk {
+		hi := lo + chunk
+		if hi > pg.Len() {
+			hi = pg.Len()
+		}
+		release := r.throttle(hi - lo)
+		for pl := lo; pl < hi; pl++ {
+			cl, ok := r.cfg.Filter(uint32(pl))
+			if !ok {
+				r.discarded.Add(1)
+				continue
+			}
+			r.kept.Add(1)
+			got := ix.Insert(pg.Vectors.Row(pl))
+			if got != cl {
+				release()
+				return nil, fmt.Errorf("shard %d split: parent-local %d materialized as child-local %d, filter says %d (filter not dense?)", r.cfg.Shard, pl, got, cl)
+			}
+			if pg.IsDeleted(uint32(pl)) {
+				ix.Delete(cl)
+			}
+		}
+		release()
+	}
+	if r.cfg.Journal != nil {
+		if err := r.cfg.Journal.Snapshot(ix.G); err != nil {
+			return nil, fmt.Errorf("seal child snapshot: %w", err)
+		}
+	}
+	r.parentLen.Store(int64(pg.Len()))
+	return ix, nil
+}
+
+// throttle acquires the configured admission throttle (identity when
+// unset).
+func (r *Replica) throttle(rows int) (release func()) {
+	if r.cfg.Throttle == nil {
+		return func() {}
+	}
+	return r.cfg.Throttle(rows)
 }
 
 // tailOnce polls the leader's position, then applies every intact record
@@ -205,15 +305,35 @@ func (r *Replica) tailOnce() (bool, error) {
 	defer rc.Close()
 	sc := persist.NewLogScanner(rc, off)
 	n := 0
+	release := r.throttle(1)
+	defer release()
 	for sc.Next() {
 		op := sc.Op()
-		r.mu.Lock()
-		err := shard.ApplyOp(r.ix, op)
-		r.mu.Unlock()
-		if err != nil {
-			// A record that checksummed but cannot apply means this replica
-			// diverged from the leader's sequence; only a resync recovers.
-			return n > 0, fmt.Errorf("apply op at offset %d: %w", sc.Offset(), err)
+		apply := true
+		if r.cfg.Filter != nil {
+			op, apply = r.translateOp(op)
+		}
+		if apply {
+			if r.cfg.Journal != nil {
+				if jerr := r.cfg.Journal.Append(op); jerr != nil {
+					// The child's log is now behind its served index; the
+					// only consistent recovery is a fresh bootstrap, whose
+					// snapshot seals a new generation past the torn log.
+					r.ready.Store(false)
+					return n > 0, fmt.Errorf("journal op at offset %d: %w", sc.Offset(), jerr)
+				}
+			}
+			r.mu.Lock()
+			err := shard.ApplyOp(r.ix, op)
+			r.mu.Unlock()
+			if err != nil {
+				// A record that checksummed but cannot apply means this replica
+				// diverged from the leader's sequence; only a resync recovers.
+				if r.cfg.Journal != nil {
+					r.ready.Store(false)
+				}
+				return n > 0, fmt.Errorf("apply op at offset %d: %w", sc.Offset(), err)
+			}
 		}
 		r.appliedBytes.Store(sc.Offset())
 		r.appliedRecords.Add(1)
@@ -224,6 +344,40 @@ func (r *Replica) tailOnce() (bool, error) {
 		return n > 0, fmt.Errorf("scan WAL: %w", sc.Err())
 	}
 	return n > 0, nil
+}
+
+// translateOp maps a parent op into the child's id space under the
+// configured filter. apply=false means the record belongs to the other
+// child (or is a fix-edge record, whose parent edge ids are meaningless
+// here) and only advances the applied position.
+func (r *Replica) translateOp(op persist.Op) (persist.Op, bool) {
+	switch op.Kind {
+	case persist.OpInsert:
+		// An insert's parent-local id is positional: the number of parent
+		// rows seen before it. The child op carries no id — replaying it
+		// inserts at the child's next id, which the density invariant
+		// guarantees is the filter's translation.
+		pl := uint32(r.parentLen.Add(1) - 1)
+		if _, ok := r.cfg.Filter(pl); !ok {
+			r.discarded.Add(1)
+			return op, false
+		}
+		r.kept.Add(1)
+		return persist.Op{Kind: persist.OpInsert, Vector: op.Vector}, true
+	case persist.OpDelete:
+		cl, ok := r.cfg.Filter(op.ID)
+		if !ok {
+			r.discarded.Add(1)
+			return op, false
+		}
+		r.kept.Add(1)
+		return persist.Op{Kind: persist.OpDelete, ID: cl}, true
+	default:
+		// Fix-edge batches repair the parent's adjacency; the child
+		// rebuilds its own after cutover.
+		r.discarded.Add(1)
+		return op, false
+	}
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) {
@@ -314,6 +468,10 @@ type Status struct {
 	Resyncs        int64  `json:"resyncs,omitempty"`
 	Failovers      int64  `json:"failovers,omitempty"`
 	LastError      string `json:"lastError,omitempty"`
+	// Kept/Discarded count rows and records by a split filter's verdict,
+	// across bootstrap and tail (zero on ordinary replicas).
+	Kept      int64 `json:"kept,omitempty"`
+	Discarded int64 `json:"discarded,omitempty"`
 }
 
 // Status returns the replica's current state.
@@ -332,7 +490,19 @@ func (r *Replica) Status() Status {
 		Resyncs:        r.resyncs.Load(),
 		Failovers:      r.failovers.Load(),
 		LastError:      lastErr,
+		Kept:           r.kept.Load(),
+		Discarded:      r.discarded.Load(),
 	}
+}
+
+// DetachIndex hands the built index to the caller — the reshard cutover
+// takes a caught-up child's index and promotes it to a serving shard.
+// Call only after Run has stopped; the replica must not apply further
+// ops to a detached index.
+func (r *Replica) DetachIndex() *core.Index {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ix
 }
 
 // Generation returns the snapshot generation the served index came from

@@ -1,0 +1,133 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"ngfix/internal/persist"
+	"ngfix/internal/shard"
+)
+
+// startChild starts a splitting child of a single-shard leader: child
+// index c ∈ {0, 1} of the 1→2 split, journaling into its own store.
+func startChild(t *testing.T, l *leader, c int, cst *persist.Store) *Replica {
+	t.Helper()
+	var thrRows int
+	return startReplica(t, StoreSource{St: l.st}, Config{
+		Shard:   c,
+		Filter:  shard.NewRouter(1).SplitFilter(0, c),
+		Journal: cst,
+		Throttle: func(rows int) func() {
+			thrRows += rows
+			return func() {}
+		},
+	})
+}
+
+// waitChildrenCaughtUp waits until both children have applied the
+// leader's full WAL.
+func waitChildrenCaughtUp(t *testing.T, l *leader, kids ...*Replica) {
+	t.Helper()
+	for _, r := range kids {
+		waitCaughtUp(t, r, l.st)
+	}
+}
+
+// TestSplitChildrenPartitionLeader: two filtered children together hold
+// exactly the leader's rows — each parent id in exactly one child, at
+// the doubled router's translation, same vector, same tombstone — across
+// bootstrap and live tailing of all three op kinds.
+func TestSplitChildrenPartitionLeader(t *testing.T) {
+	l := newLeader(t, t.TempDir())
+	st0, err := persist.Open(t.TempDir(), persist.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st0.Close()
+	st1, err := persist.Open(t.TempDir(), persist.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st1.Close()
+
+	k0 := startChild(t, l, 0, st0)
+	k1 := startChild(t, l, 1, st1)
+	waitChildrenCaughtUp(t, l, k0, k1)
+
+	// Live mutations while the children tail: inserts, a delete, and a
+	// fix batch (which children must skip, not choke on).
+	l.mutate(t, 7)
+	l.mutate(t, 19)
+	waitChildrenCaughtUp(t, l, k0, k1)
+
+	pg := l.fx.Index().G
+	r2 := shard.NewRouter(2)
+	g0, g1 := replicaGraph(k0), replicaGraph(k1)
+	kids := []*struct{ seen int }{{}, {}}
+	for pl := 0; pl < pg.Len(); pl++ {
+		g := uint32(pl) // one parent shard: global id == parent-local id
+		c := r2.ShardOf(g)
+		cl := r2.Local(g)
+		cg := g0
+		if c == 1 {
+			cg = g1
+		}
+		if int(cl) >= cg.Len() {
+			t.Fatalf("parent id %d missing from child %d (len %d, want local %d)", g, c, cg.Len(), cl)
+		}
+		want, got := pg.Vectors.Row(pl), cg.Vectors.Row(int(cl))
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("parent id %d: vector differs in child %d local %d", g, c, cl)
+			}
+		}
+		if pg.IsDeleted(g) != cg.IsDeleted(cl) {
+			t.Fatalf("parent id %d: tombstone differs in child %d", g, c)
+		}
+		kids[c].seen++
+	}
+	if kids[0].seen != g0.Len() || kids[1].seen != g1.Len() {
+		t.Fatalf("children hold extra rows: %d/%d seen, %d/%d held",
+			kids[0].seen, kids[1].seen, g0.Len(), g1.Len())
+	}
+	// Fix batches were tailed and skipped, not applied.
+	s0 := k0.Status()
+	if s0.Discarded == 0 {
+		t.Fatal("child 0 discarded nothing — fix ops should be skipped")
+	}
+	if s0.Kept == 0 {
+		t.Fatal("child 0 kept nothing from the tail")
+	}
+}
+
+// TestSplitChildJournalRecovery: a child's journal (sealed snapshot +
+// translated tail ops) replays to a graph identical to the served child
+// — the property cutover and every later restart rely on.
+func TestSplitChildJournalRecovery(t *testing.T) {
+	l := newLeader(t, t.TempDir())
+	dir0 := t.TempDir()
+	st0, err := persist.Open(dir0, persist.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := startChild(t, l, 0, st0)
+	waitCaughtUp(t, k0, l.st)
+	l.mutate(t, 3)
+	waitCaughtUp(t, k0, l.st)
+
+	// Stop the tail loop before touching the index or the store.
+	time.Sleep(5 * time.Millisecond)
+	served := replicaGraph(k0)
+	st0.Close()
+
+	re, err := persist.Open(dir0, persist.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	ixs, _, err := shard.Recover([]*persist.Store{re}, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsIdentical(t, served, ixs[0].G)
+}

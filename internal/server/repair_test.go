@@ -49,7 +49,7 @@ func repairTestServer(t *testing.T, wal core.WAL, snapshotEvery int) (*httptest.
 func TestStatsAndSlowQueriesSurfaceRepair(t *testing.T) {
 	ts, s, fixer, d := repairTestServer(t, nil, 0)
 	ctl := repair.New(0, fixer, nil, repair.Config{Interval: time.Hour})
-	s.Repair = repair.NewFleet(ctl)
+	s.SetRepair(repair.NewFleet(ctl))
 
 	var mu sync.Mutex
 	var lines []string
@@ -92,7 +92,7 @@ func TestStatsAndSlowQueriesSurfaceRepair(t *testing.T) {
 
 	// Without a fleet the fields stay omitted — pre-adaptive dashboards
 	// see an unchanged payload.
-	s.Repair = nil
+	s.SetRepair(nil)
 	body := getBody(t, ts.URL+"/v1/stats")
 	if strings.Contains(body, "repairMode") || strings.Contains(body, `"repair"`) {
 		t.Fatalf("repair fields leaked without a fleet: %s", body)
@@ -128,10 +128,11 @@ func TestReadyzWedgedRepairLifecycle(t *testing.T) {
 	wal := &snapPanicWAL{failing: true}
 	ts, s, fixer, d := repairTestServer(t, wal, 1)
 	ctl := repair.New(0, fixer, nil, repair.Config{Interval: time.Millisecond})
-	s.Repair = repair.NewFleet(ctl)
+	fleet := repair.NewFleet(ctl)
+	s.SetRepair(fleet)
 
 	ctx, cancel := context.WithCancel(context.Background())
-	go s.Repair.Run(ctx, nil)
+	go fleet.Run(ctx, nil)
 	feederDone := make(chan struct{})
 	go func() { // failed batches drain their queries: keep the signal coming
 		defer close(feederDone)
@@ -147,7 +148,7 @@ func TestReadyzWedgedRepairLifecycle(t *testing.T) {
 	t.Cleanup(func() { cancel(); <-feederDone })
 
 	waitFor(t, 10*time.Second, "controller to wedge", func() bool {
-		return len(s.Repair.WedgedShards()) > 0
+		return len(fleet.WedgedShards()) > 0
 	})
 	resp, err := http.Get(ts.URL + "/readyz")
 	if err != nil {

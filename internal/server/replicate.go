@@ -32,7 +32,8 @@ import (
 // replicateStore resolves the shard query parameter to its store,
 // answering the error itself when it cannot.
 func (s *Server) replicateStore(w http.ResponseWriter, r *http.Request) *persist.Store {
-	if len(s.Stores) == 0 {
+	stores := s.getStores()
+	if len(stores) == 0 {
 		s.httpError(w, http.StatusNotImplemented,
 			errors.New("replication not available (start with -snapshot-dir)"))
 		return nil
@@ -46,12 +47,12 @@ func (s *Server) replicateStore(w http.ResponseWriter, r *http.Request) *persist
 		}
 		sh = n
 	}
-	if sh < 0 || sh >= len(s.Stores) {
+	if sh < 0 || sh >= len(stores) {
 		s.httpError(w, http.StatusBadRequest,
-			fmt.Errorf("shard %d out of range (%d shards)", sh, len(s.Stores)))
+			fmt.Errorf("shard %d out of range (%d shards)", sh, len(stores)))
 		return nil
 	}
-	return s.Stores[sh]
+	return stores[sh]
 }
 
 func (s *Server) handleReplicateStatus(w http.ResponseWriter, r *http.Request) {

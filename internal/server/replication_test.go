@@ -153,7 +153,7 @@ func newReplicatedTestServer(t *testing.T, after time.Duration) *replicatedServe
 
 	s := NewSharded(g)
 	s.SnapshotFunc = g.Snapshot
-	s.Stores = stores
+	s.SetStores(stores)
 	s.Replicas = set
 	s.EnableMetrics(obs.NewRegistry(), shardRegs...)
 	s.SetReady(true)

@@ -62,6 +62,7 @@ import (
 	"ngfix/internal/repair"
 	"ngfix/internal/replica"
 	"ngfix/internal/shard"
+	"ngfix/internal/shard/reshard"
 )
 
 // DefaultMaxBodyBytes caps request bodies when Server.MaxBodyBytes is
@@ -81,7 +82,13 @@ const (
 // top-k; mutations route to the owning shard; /v1/stats reports both
 // the aggregate and the per-shard breakdown.
 type Server struct {
-	group *shard.Group
+	// group is the serving topology. It is a swappable pointer because a
+	// live reshard replaces the whole group (N fixers → 2N fixers) in one
+	// atomic store at cutover; every handler loads it once per request,
+	// so a request sees one coherent topology end to end. Mutations that
+	// raced the swap get shard.ErrResharding from the retired (forever
+	// paused) group and retry against the fresh pointer.
+	group atomic.Pointer[shard.Group]
 	mux   *http.ServeMux
 	// DefaultK / DefaultEF apply when a search request omits them.
 	DefaultK, DefaultEF int
@@ -108,16 +115,29 @@ type Server struct {
 	// threshold with the fields needed to explain it (ndc, hops, clamping,
 	// truncation, duration).
 	SlowQueries *obs.SlowQueryLog
-	// Repair, when non-nil, is the adaptive repair fleet: /v1/stats gains
-	// per-shard controller status, slow-query lines carry the repair mode
-	// the query contended with, and /readyz reports controllers wedged on
-	// consecutive fix failures.
-	Repair *repair.Fleet
-	// Stores, when non-nil, are the per-shard persistence stores, which
-	// makes this server a replication leader: followers pull snapshots
-	// and WAL segments over /v1/replicate/*. Nil leaves those endpoints
-	// answering 501.
-	Stores []*persist.Store
+	// ReshardFunc, when non-nil, backs POST /v1/reshard: it kicks off a
+	// live N→2N split in the background and returns the topology change,
+	// or ErrReshardInProgress when one is already running. Nil answers
+	// 501 (resharding needs persistence wiring).
+	ReshardFunc func() (from, to int, err error)
+	// ReshardProgress, when non-nil, reports the current (or most
+	// recent) reshard for /v1/stats and the ngfix_reshard_* metric
+	// families.
+	ReshardProgress func() reshard.Progress
+
+	// repairFleet is the adaptive repair fleet (see SetRepair): /v1/stats
+	// gains per-shard controller status, slow-query lines carry the
+	// repair mode the query contended with, and /readyz reports
+	// controllers wedged on consecutive fix failures. Swappable because a
+	// reshard retires the fleet with its group and starts one per child
+	// shard on the new topology.
+	repairFleet atomic.Pointer[repair.Fleet]
+	// stores are the per-shard persistence stores (see SetStores), which
+	// make this server a replication leader: followers pull snapshots
+	// and WAL segments over /v1/replicate/*. Unset leaves those
+	// endpoints answering 501. Swapped together with the group at
+	// reshard cutover.
+	stores atomic.Pointer[[]*persist.Store]
 	// Replicas, when non-nil, are this server's own per-shard read
 	// replicas (the group must have them attached via SetReplicas too):
 	// /v1/stats gains a per-shard replica block, and /readyz downgrades
@@ -137,13 +157,21 @@ type Server struct {
 	truncated atomic.Int64
 	clamped   atomic.Int64
 
-	// metrics/metricsRegs are set once by EnableMetrics before serving;
-	// nil means uninstrumented (observers are nil-safe). /metrics serves
-	// the merged exposition of every registry: the server's own, one per
-	// shard (const-labeled shard="<i>"), and admission's (shard="all").
-	metrics     *serverMetrics
-	metricsRegs []*obs.Registry
+	// metrics/baseRegs are set once by EnableMetrics before serving; nil
+	// means uninstrumented (observers are nil-safe). /metrics serves the
+	// merged exposition of every registry: the server's own and the
+	// process-global shard="all" ones in baseRegs, plus the per-shard
+	// registries (const-labeled shard="<i>") in shardRegs — a separate
+	// swappable set because a reshard replaces the shard line-up (see
+	// SetShardRegistries).
+	metrics   *serverMetrics
+	baseRegs  []*obs.Registry
+	shardRegs atomic.Pointer[[]*obs.Registry]
 }
+
+// ErrReshardInProgress is what ReshardFunc returns while a split is
+// already running; /v1/reshard maps it to 409 Conflict.
+var ErrReshardInProgress = errors.New("server: a reshard is already in progress")
 
 // New builds a Server around a single online fixer — the unsharded
 // deployment, identical to NewSharded(shard.Single(fixer)).
@@ -155,7 +183,8 @@ func New(fixer *core.OnlineFixer) *Server {
 // not ready: call SetReady(true) once every shard is loaded/replayed
 // and the listener is up, so /readyz tells load balancers the truth.
 func NewSharded(group *shard.Group) *Server {
-	s := &Server{group: group, mux: http.NewServeMux(), DefaultK: 10, DefaultEF: 100}
+	s := &Server{mux: http.NewServeMux(), DefaultK: 10, DefaultEF: 100}
+	s.group.Store(group)
 	// Search governs itself (its admission cost depends on the decoded
 	// ef); fixed-work endpoints go through the governed middleware.
 	s.mux.HandleFunc("/v1/search", s.method(http.MethodPost, s.handleSearch))
@@ -164,6 +193,7 @@ func NewSharded(group *shard.Group) *Server {
 	s.mux.HandleFunc("/v1/fix", s.method(http.MethodPost, s.governed(maintenanceCost, s.handleFix)))
 	s.mux.HandleFunc("/v1/purge", s.method(http.MethodPost, s.governed(maintenanceCost, s.handlePurge)))
 	s.mux.HandleFunc("/v1/snapshot", s.method(http.MethodPost, s.handleSnapshot))
+	s.mux.HandleFunc("/v1/reshard", s.method(http.MethodPost, s.handleReshard))
 	s.mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))
 	s.mux.HandleFunc("/v1/replicate/status", s.method(http.MethodGet, s.handleReplicateStatus))
 	s.mux.HandleFunc("/v1/replicate/snapshot", s.method(http.MethodGet, s.handleReplicateSnapshot))
@@ -186,8 +216,62 @@ func (s *Server) EnablePolicy(eng *policy.Engine) {
 	}
 	s.policyEngine = eng
 	if c := eng.Cache(); c != nil {
-		s.group.SetMutationHook(c.Invalidate)
+		s.grp().SetMutationHook(c.Invalidate)
 	}
+}
+
+// grp loads the current serving group. Handlers load once per request
+// so each request sees one coherent topology.
+func (s *Server) grp() *shard.Group { return s.group.Load() }
+
+// Group returns the current serving group (wiring and shutdown read it;
+// a live reshard may have swapped it since startup).
+func (s *Server) Group() *shard.Group { return s.group.Load() }
+
+// SwapGroup installs a new serving group — the reshard cutover's
+// serving-path flip. The policy answer cache (if any) is re-hooked onto
+// the new shards' mutation paths and invalidated once: entries verified
+// against the old topology stay correct in content, but the swap is the
+// natural barrier to drop them at.
+func (s *Server) SwapGroup(g *shard.Group) {
+	if eng := s.policyEngine; eng != nil {
+		if c := eng.Cache(); c != nil {
+			g.SetMutationHook(c.Invalidate)
+			defer c.Invalidate()
+		}
+	}
+	s.group.Store(g)
+}
+
+// SetRepair installs (or, with nil, detaches) the adaptive repair fleet.
+func (s *Server) SetRepair(f *repair.Fleet) { s.repairFleet.Store(f) }
+
+// getRepair returns the current repair fleet, nil when none is running
+// (including the reshard cutover window, when the fleet is quiesced).
+func (s *Server) getRepair() *repair.Fleet { return s.repairFleet.Load() }
+
+// SetStores installs the per-shard persistence stores the replication
+// endpoints serve from. Swapped together with the group at reshard
+// cutover so followers immediately see the new topology's shard count.
+func (s *Server) SetStores(stores []*persist.Store) {
+	if stores == nil {
+		s.stores.Store(nil)
+		return
+	}
+	s.stores.Store(&stores)
+}
+
+// Stores returns the current per-shard stores (nil when persistence is
+// not wired); a live reshard may have swapped them since startup.
+func (s *Server) Stores() []*persist.Store { return s.getStores() }
+
+// getStores returns the current per-shard stores (nil when persistence
+// is not wired).
+func (s *Server) getStores() []*persist.Store {
+	if p := s.stores.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // SetReady flips what /readyz reports. Serving handlers are unaffected:
@@ -569,6 +653,11 @@ type StatsResponse struct {
 	// full-precision server's payload is byte-identical to before PQ
 	// serving existed.
 	PQ *PQStatsResponse `json:"pq,omitempty"`
+	// Reshard is the live (or most recently finished/failed) N→2N
+	// split's progress. Present only while one is running or after one
+	// ran this process lifetime; a server that never resharded keeps its
+	// exact prior payload.
+	Reshard *reshard.Progress `json:"reshard,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -614,7 +703,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if s.SlowQueries.Observe(obs.SlowQuery{
 			ID: s.SlowQueries.NextID(), K: k, EF: requestedEF, EFUsed: ef,
 			NDC: int64(probeNDC), Policy: policy.AttrCacheHit,
-			Repair: s.repairMode(), Duration: dur,
+			Repair: s.repairMode(), Reshard: s.reshardAttr(), Duration: dur,
 		}) {
 			s.metrics.observeSlowQuery()
 		}
@@ -629,7 +718,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	shards := s.group.Shards()
+	group := s.grp()
+	shards := group.Shards()
 	parallel := shards
 	clamped := false
 	clampedBy := obs.ClampNone
@@ -667,7 +757,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	res, st, stale := s.group.SearchStale(ctx, req.Vector, k, ef, parallel)
+	res, st, stale := group.SearchStale(ctx, req.Vector, k, ef, parallel)
 	if st.Truncated {
 		s.truncated.Add(1)
 	}
@@ -697,7 +787,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		ID: s.SlowQueries.NextID(), K: k, EF: requestedEF, EFUsed: ef,
 		NDC: st.NDC, ADC: st.ADCLookups, Hops: st.Hops,
 		Truncated: st.Truncated, Clamped: clamped, ClampedBy: clampedBy,
-		Repair: s.repairMode(), Policy: policyAttr,
+		Repair: s.repairMode(), Policy: policyAttr, Reshard: s.reshardAttr(),
 		Duration: dur,
 	}) {
 		s.metrics.observeSlowQuery()
@@ -739,7 +829,7 @@ func (s *Server) searchParams(req SearchRequest) (k, ef int, err error) {
 		if *req.EF < k {
 			return 0, 0, fmt.Errorf("ef (%d) must be at least k (%d)", *req.EF, k)
 		}
-		if n := s.group.Len(); n > 0 && *req.EF > n {
+		if n := s.grp().Len(); n > 0 && *req.EF > n {
 			return 0, 0, fmt.Errorf("ef (%d) exceeds the graph size (%d vectors)", *req.EF, n)
 		}
 		ef = *req.EF
@@ -756,7 +846,16 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.group.InsertChecked(req.Vector)
+	var id uint32
+	err := s.retryResharding(r.Context(), func(g *shard.Group) error {
+		var err error
+		id, err = g.InsertChecked(req.Vector)
+		return err
+	})
+	if errors.Is(err, shard.ErrResharding) {
+		s.reshardBusy(w, err)
+		return
+	}
 	if err != nil {
 		// Applied in memory but not journaled: refuse the ack so the
 		// client knows the write is at risk until the next snapshot.
@@ -769,12 +868,49 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, InsertResponse{ID: id})
 }
 
+// retryResharding runs fn against the current group, retrying while the
+// reshard cutover gate refuses mutations. The gate closes for one
+// bounded drain window; a retired group keeps refusing forever, so each
+// retry re-loads the group pointer and lands on the freshly installed
+// topology the moment the cutover commits. Bounded by the request
+// context — a client that gives up mid-window gets the refusal.
+func (s *Server) retryResharding(ctx context.Context, fn func(g *shard.Group) error) error {
+	for {
+		err := fn(s.grp())
+		if !errors.Is(err, shard.ErrResharding) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// reshardBusy answers a mutation whose request budget expired inside the
+// cutover window: 503 with a short Retry-After — the window is bounded,
+// so "come back in a second" is the truth.
+func (s *Server) reshardBusy(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	s.httpError(w, http.StatusServiceUnavailable, err)
+}
+
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	var req DeleteRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	deleted, err := s.group.DeleteChecked(req.ID)
+	var deleted bool
+	err := s.retryResharding(r.Context(), func(g *shard.Group) error {
+		var err error
+		deleted, err = g.DeleteChecked(req.ID)
+		return err
+	})
+	if errors.Is(err, shard.ErrResharding) {
+		s.reshardBusy(w, err)
+		return
+	}
 	if errors.Is(err, core.ErrUnknownID) {
 		s.httpError(w, http.StatusNotFound, fmt.Errorf("id %d out of range", req.ID))
 		return
@@ -788,7 +924,16 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.group.FixPendingChecked()
+	var rep core.FixReport
+	err := s.retryResharding(r.Context(), func(g *shard.Group) error {
+		var err error
+		rep, err = g.FixPendingChecked()
+		return err
+	})
+	if errors.Is(err, shard.ErrResharding) {
+		s.reshardBusy(w, err)
+		return
+	}
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError,
 			fmt.Errorf("fix batch applied (%d queries) but not journaled (durability degraded): %v", rep.Queries, err))
@@ -802,7 +947,16 @@ func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	rep := s.group.PurgeAndRepair(req.K, req.EF)
+	var rep core.PurgeReport
+	err := s.retryResharding(r.Context(), func(g *shard.Group) error {
+		var err error
+		rep, err = g.PurgeAndRepair(req.K, req.EF)
+		return err
+	})
+	if errors.Is(err, shard.ErrResharding) {
+		s.reshardBusy(w, err)
+		return
+	}
 	s.writeJSON(w, PurgeResponse{Purged: rep.Purged, EdgesRemoved: rep.EdgesRemoved, RepairEdges: rep.RepairEdges})
 }
 
@@ -812,16 +966,65 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.SnapshotFunc(); err != nil {
+		if errors.Is(err, shard.ErrResharding) {
+			// A snapshot seals generations the reshard is streaming from;
+			// refusing for the bounded cutover window beats racing it.
+			s.reshardBusy(w, err)
+			return
+		}
 		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("snapshot failed: %v", err))
 		return
 	}
 	s.writeJSON(w, SnapshotResponse{OK: true})
 }
 
+// ReshardResponse is the /v1/reshard reply: the topology change just
+// kicked off. The split runs in the background; poll /v1/stats (or the
+// ngfix_reshard_* metrics) for progress.
+type ReshardResponse struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
+	if s.ReshardFunc == nil {
+		s.httpError(w, http.StatusNotImplemented,
+			errors.New("resharding not available (start with -snapshot-dir)"))
+		return
+	}
+	from, to, err := s.ReshardFunc()
+	if errors.Is(err, ErrReshardInProgress) {
+		s.httpError(w, http.StatusConflict, err)
+		return
+	}
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("reshard: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	if encErr := json.NewEncoder(w).Encode(ReshardResponse{From: from, To: to}); encErr != nil {
+		s.logf("server: encode reshard response: %v", encErr)
+	}
+}
+
+// reshardAttr returns the live reshard's phase for slow-query
+// attribution, or "" when none is running (rendered as "none").
+func (s *Server) reshardAttr() string {
+	if s.ReshardProgress == nil {
+		return ""
+	}
+	if p := s.ReshardProgress(); p.Active {
+		return p.State
+	}
+	return ""
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// One OnlineStats call per shard: graph numbers must come from under
 	// each fixer's lock, never from unlocked reads through Index().
-	ost, per := s.group.OnlineStats()
+	group := s.grp()
+	ost, per := group.OnlineStats()
 	var perShard []ShardStatsResponse
 	if len(per) > 1 {
 		perShard = make([]ShardStatsResponse, len(per))
@@ -846,9 +1049,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	var repairMode string
 	var repairStatus []repair.Status
-	if s.Repair != nil {
-		repairMode = s.Repair.Mode()
-		repairStatus = s.Repair.Status()
+	if fleet := s.getRepair(); fleet != nil {
+		repairMode = fleet.Mode()
+		repairStatus = fleet.Status()
 	}
 	var replicaStatus []replica.Status
 	if s.Replicas != nil {
@@ -880,8 +1083,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	var reshardBlock *reshard.Progress
+	if s.ReshardProgress != nil {
+		if p := s.ReshardProgress(); p.State != "" && p.State != reshard.StateIdle {
+			reshardBlock = &p
+		}
+	}
 	var pqBlock *PQStatsResponse
-	if pt, _, ok := s.group.PQStats(); ok {
+	if pt, _, ok := group.PQStats(); ok {
 		pqBlock = &PQStatsResponse{
 			M: pt.M, KS: pt.KS, RerankFactor: pt.Rerank, Rows: pt.Rows,
 			CodeBytes: pt.CodeBytes, CodebookBytes: pt.CodebookBytes,
@@ -910,13 +1119,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TruncatedSearches: s.truncated.Load(),
 		ClampedSearches:   s.clamped.Load(),
 		Admission:         adm,
-		Shards:            s.group.Shards(),
+		Shards:            group.Shards(),
 		PerShard:          perShard,
 		RepairMode:        repairMode,
 		Repair:            repairStatus,
 		Replica:           replicaStatus,
 		Policy:            pol,
 		PQ:                pqBlock,
+		Reshard:           reshardBlock,
 	})
 }
 
@@ -938,12 +1148,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	// caught-up read replica covers it — then the server still answers
 	// every read, just possibly stale, and readyz reports 200 with the
 	// detail so operators see the degradation without losing the node.
-	if bad := s.group.DegradedShards(); len(bad) > 0 {
-		if uncovered := s.uncoveredShards(bad); len(uncovered) > 0 {
+	group := s.grp()
+	if bad := group.DegradedShards(); len(bad) > 0 {
+		if uncovered := s.uncoveredShards(group, bad); len(uncovered) > 0 {
 			// Searches still work, but acknowledged writes may not survive a
 			// crash until a snapshot succeeds — stop routing traffic here.
 			msg := "durability degraded (WAL failing; snapshot to recover)"
-			if s.group.Shards() > 1 {
+			if group.Shards() > 1 {
 				msg = fmt.Sprintf("durability degraded on shard(s) %v (WAL failing; snapshot to recover)", uncovered)
 			}
 			s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
@@ -953,14 +1164,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "degraded, serving from replica: durability failing on shard(s) %v\n", bad)
 		return
 	}
-	if s.Repair != nil {
-		if bad := s.Repair.WedgedShards(); len(bad) > 0 {
-			if uncovered := s.uncoveredShards(bad); len(uncovered) > 0 {
+	if fleet := s.getRepair(); fleet != nil {
+		if bad := fleet.WedgedShards(); len(bad) > 0 {
+			if uncovered := s.uncoveredShards(group, bad); len(uncovered) > 0 {
 				// The index still answers, but repair signal is accumulating
 				// unapplied: the controller has failed several consecutive fix
 				// batches and is wedged on its retry schedule.
 				msg := "repair wedged in backoff (consecutive fix-batch failures)"
-				if s.group.Shards() > 1 {
+				if group.Shards() > 1 {
 					msg = fmt.Sprintf("repair wedged in backoff on shard(s) %v (consecutive fix-batch failures)", uncovered)
 				}
 				s.httpError(w, http.StatusServiceUnavailable, errors.New(msg))
@@ -978,18 +1189,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // repairMode returns the repair fleet's aggregate mode for slow-query
 // attribution, or "" without a controller (rendered as "none").
 func (s *Server) repairMode() string {
-	if s.Repair == nil {
+	fleet := s.getRepair()
+	if fleet == nil {
 		return ""
 	}
-	return s.Repair.Mode()
+	return fleet.Mode()
 }
 
 // uncoveredShards filters a list of troubled shards down to those no
 // ready read replica can serve — the ones that make the node dark.
-func (s *Server) uncoveredShards(bad []int) []int {
+func (s *Server) uncoveredShards(group *shard.Group, bad []int) []int {
 	var uncovered []int
 	for _, sh := range bad {
-		if !s.group.ReplicaCovers(sh) {
+		if !group.ReplicaCovers(sh) {
 			uncovered = append(uncovered, sh)
 		}
 	}
@@ -1000,7 +1212,7 @@ func (s *Server) checkVector(v []float32) error {
 	if len(v) == 0 {
 		return fmt.Errorf("vector is required")
 	}
-	if dim := s.group.Dim(); len(v) != dim {
+	if dim := s.grp().Dim(); len(v) != dim {
 		return fmt.Errorf("vector dim %d != index dim %d", len(v), dim)
 	}
 	return nil

@@ -38,7 +38,50 @@ type Group struct {
 	// seeded with the total vector count so a group recovered from an
 	// interleaved partition keeps assigning dense global ids.
 	rr atomic.Uint64
+
+	// Reshard cutover gate. paused makes new mutations fail fast with
+	// ErrResharding; pauseMu is read-locked across each mutation (through
+	// its WAL append) so PauseMutations can set paused and then take the
+	// write lock to *wait out* every in-flight mutation — after it
+	// returns, everything that will ever reach this group's WALs (except
+	// fix batches, which splitting children skip) is already on disk.
+	// Searches are never gated: cutover is invisible to reads.
+	pauseMu sync.RWMutex
+	paused  atomic.Bool
 }
+
+// ErrResharding is returned by mutation paths while the group is paused
+// for a reshard cutover. The window is bounded (WAL drain + manifest
+// commit); callers should retry, not fail the request.
+var ErrResharding = errors.New("shard: mutations paused for reshard cutover")
+
+// enterMutation admits one mutation under the cutover gate; the caller
+// must invoke the returned func when the mutation (including its WAL
+// append) is done.
+func (g *Group) enterMutation() (func(), error) {
+	g.pauseMu.RLock()
+	if g.paused.Load() {
+		g.pauseMu.RUnlock()
+		return nil, ErrResharding
+	}
+	return g.pauseMu.RUnlock, nil
+}
+
+// PauseMutations flips the gate and waits for every in-flight mutation
+// to finish. On return, no mutation is running and none can start; all
+// mutation WAL appends this group will ever perform (modulo fix batches)
+// have completed.
+func (g *Group) PauseMutations() {
+	g.paused.Store(true)
+	g.pauseMu.Lock() // barrier: waits out every admitted mutation
+	//lint:ignore SA2001 the critical section is the wait itself
+	g.pauseMu.Unlock()
+}
+
+// ResumeMutations reopens the gate after a failed cutover attempt. A
+// retired (swapped-out) group is never resumed: requests that raced the
+// swap keep getting ErrResharding and retry against the new group.
+func (g *Group) ResumeMutations() { g.paused.Store(false) }
 
 // NewGroup wraps the given shard-local fixers. All shards must share one
 // dimensionality (they serve slices of one vector space).
@@ -163,6 +206,11 @@ func (g *Group) SearchCtx(ctx context.Context, q []float32, k, ef int, parallel 
 // shard's journal-append failure, wrapped with the shard index; the
 // vector is live in memory either way.
 func (g *Group) InsertChecked(v []float32) (uint32, error) {
+	exit, err := g.enterMutation()
+	if err != nil {
+		return 0, err
+	}
+	defer exit()
 	s := int(g.rr.Add(1)-1) % len(g.fixers)
 	local, err := g.fixers[s].InsertChecked(v)
 	if err != nil {
@@ -175,6 +223,11 @@ func (g *Group) InsertChecked(v []float32) (uint32, error) {
 // local part is beyond the owning shard's length was never assigned:
 // core.ErrUnknownID, same as the single-fixer path.
 func (g *Group) DeleteChecked(id uint32) (bool, error) {
+	exit, err := g.enterMutation()
+	if err != nil {
+		return false, err
+	}
+	defer exit()
 	s := g.router.ShardOf(id)
 	changed, err := g.fixers[s].DeleteChecked(g.router.Local(id))
 	if err != nil && !errors.Is(err, core.ErrUnknownID) {
@@ -188,6 +241,11 @@ func (g *Group) DeleteChecked(id uint32) (bool, error) {
 // each wrapped with its shard index, so a background loop can log
 // exactly which shard's journal is failing.
 func (g *Group) FixPendingChecked() (core.FixReport, error) {
+	exit, err := g.enterMutation()
+	if err != nil {
+		return core.FixReport{}, err
+	}
+	defer exit()
 	reps := make([]core.FixReport, len(g.fixers))
 	errs := make([]error, len(g.fixers))
 	var wg sync.WaitGroup
@@ -221,8 +279,14 @@ func (g *Group) FixPendingChecked() (core.FixReport, error) {
 
 // PurgeAndRepair purges tombstones on every shard in parallel and
 // aggregates the reports (Elapsed is the slowest shard: they ran
-// concurrently).
-func (g *Group) PurgeAndRepair(k, efTruth int) core.PurgeReport {
+// concurrently). The error is only ever ErrResharding — a purge rewrites
+// graphs and seals barrier snapshots, which cannot overlap a cutover.
+func (g *Group) PurgeAndRepair(k, efTruth int) (core.PurgeReport, error) {
+	exit, err := g.enterMutation()
+	if err != nil {
+		return core.PurgeReport{}, err
+	}
+	defer exit()
 	reps := make([]core.PurgeReport, len(g.fixers))
 	var wg sync.WaitGroup
 	for s, f := range g.fixers {
@@ -242,7 +306,7 @@ func (g *Group) PurgeAndRepair(k, efTruth int) core.PurgeReport {
 			total.Elapsed = rep.Elapsed
 		}
 	}
-	return total
+	return total, nil
 }
 
 // Snapshot forces a durable snapshot on every shard in parallel. Shards
@@ -250,6 +314,11 @@ func (g *Group) PurgeAndRepair(k, efTruth int) core.PurgeReport {
 // that succeed have still sealed their state — one bad disk does not
 // veto the others' durability.
 func (g *Group) Snapshot() error {
+	exit, err := g.enterMutation()
+	if err != nil {
+		return err
+	}
+	defer exit()
 	errs := make([]error, len(g.fixers))
 	var wg sync.WaitGroup
 	for s, f := range g.fixers {

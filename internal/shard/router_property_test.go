@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRouterRoundTripProperty: Global(ShardOf(g), Local(g)) == g for
+// randomized ids across a spread of shard counts — the identity the
+// whole global/local id scheme rests on.
+func TestRouterRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 64, 1024} {
+		r := NewRouter(n)
+		for trial := 0; trial < 2000; trial++ {
+			g := rng.Uint32()
+			s, l := r.ShardOf(g), r.Local(g)
+			if s < 0 || s >= n {
+				t.Fatalf("n=%d: ShardOf(%d)=%d out of range", n, g, s)
+			}
+			if back := r.Global(s, l); back != g {
+				t.Fatalf("n=%d: Global(ShardOf(%d), Local(%d)) = %d", n, g, g, back)
+			}
+		}
+	}
+}
+
+// TestRouterSplitInvariantProperty: the invariant cutover correctness
+// relies on — every id owned by parent p under N shards lands on child p
+// or child p+N under 2N shards, and SplitFilter's translation agrees
+// with direct routing under the doubled router.
+func TestRouterSplitInvariantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 4, 8, 33, 256} {
+		r := NewRouter(n)
+		r2 := r.Doubled()
+		if r2.Shards() != 2*n {
+			t.Fatalf("Doubled(%d) has %d shards", n, r2.Shards())
+		}
+		for trial := 0; trial < 2000; trial++ {
+			g := rng.Uint32()
+			p := r.ShardOf(g)
+			c := r2.ShardOf(g)
+			if c != p && c != p+n {
+				t.Fatalf("n=%d: id %d owned by parent %d routes to child %d under 2N", n, g, p, c)
+			}
+			// SplitFilter on the owning side translates; the other side
+			// rejects; the translated child-local id round-trips through
+			// the doubled router back to the same global id.
+			keepSame, okSame := r.SplitFilter(p, p)(r.Local(g))
+			keepHigh, okHigh := r.SplitFilter(p, p+n)(r.Local(g))
+			if okSame == okHigh {
+				t.Fatalf("n=%d id=%d: both split sides reported ok=%v", n, g, okSame)
+			}
+			var child int
+			var childLocal uint32
+			if okSame {
+				child, childLocal = p, keepSame
+			} else {
+				child, childLocal = p+n, keepHigh
+			}
+			if child != c {
+				t.Fatalf("n=%d id=%d: filter kept child %d, router says %d", n, g, child, c)
+			}
+			if childLocal != r2.Local(g) {
+				t.Fatalf("n=%d id=%d: filter local %d, router local %d", n, g, childLocal, r2.Local(g))
+			}
+			if back := r2.Global(child, childLocal); back != g {
+				t.Fatalf("n=%d id=%d: doubled round-trip gave %d", n, g, back)
+			}
+		}
+	}
+}
+
+// TestSplitFilterDensity: the kept parent-local ids translate to exactly
+// 0,1,2,... in each child — the property that lets a filtered replica
+// rebuild a child by plain insertion order.
+func TestSplitFilterDensity(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		r := NewRouter(n)
+		for p := 0; p < n; p++ {
+			for _, child := range []int{p, p + n} {
+				f := r.SplitFilter(p, child)
+				next := uint32(0)
+				for pl := uint32(0); pl < 1000; pl++ {
+					if cl, ok := f(pl); ok {
+						if cl != next {
+							t.Fatalf("n=%d p=%d child=%d: parent-local %d → child-local %d, want %d", n, p, child, pl, cl, next)
+						}
+						next++
+					}
+				}
+				if next < 499 || next > 501 {
+					t.Fatalf("n=%d p=%d child=%d: kept %d of 1000", n, p, child, next)
+				}
+			}
+		}
+	}
+}
+
+// FuzzRouterSplit fuzzes both properties over arbitrary (n, id) pairs.
+func FuzzRouterSplit(f *testing.F) {
+	f.Add(uint32(0), uint16(1))
+	f.Add(uint32(12345), uint16(4))
+	f.Add(^uint32(0), uint16(255))
+	f.Fuzz(func(t *testing.T, g uint32, nRaw uint16) {
+		n := int(nRaw%1024) + 1
+		r := NewRouter(n)
+		s, l := r.ShardOf(g), r.Local(g)
+		if back := r.Global(s, l); back != g {
+			t.Fatalf("round-trip n=%d g=%d: %d", n, g, back)
+		}
+		c := r.Doubled().ShardOf(g)
+		if c != s && c != s+n {
+			t.Fatalf("split n=%d g=%d: parent %d, child %d", n, g, s, c)
+		}
+		cl, ok := r.SplitFilter(s, c)(l)
+		if !ok {
+			t.Fatalf("split n=%d g=%d: owning child %d rejected", n, g, c)
+		}
+		if r.Doubled().Global(c, cl) != g {
+			t.Fatalf("split n=%d g=%d: child round-trip broken", n, g)
+		}
+	})
+}

@@ -57,6 +57,41 @@ func (r Router) Global(shard int, local uint32) uint32 {
 	return local*uint32(r.n) + uint32(shard)
 }
 
+// Doubled returns the router for the post-split topology: twice the
+// shards. The id arithmetic guarantees every id owned by parent p under
+// this router lands on child p or child p+n under the doubled router —
+// the invariant live resharding is built on (see SplitFilter).
+func (r Router) Doubled() Router { return Router{n: 2 * r.n} }
+
+// SplitFilter returns the parent-local → child-local translation for one
+// side of an N→2N split: given parent shard p and a child index c (which
+// must be p or p+N), the returned function maps a parent-local id to its
+// child-local id when the id routes to c under the doubled router, and
+// reports ok=false when it belongs to the other child.
+//
+// The arithmetic: parent p's ids are g = l·N + p for local l. Under 2N,
+// g mod 2N is p when l is even (child p, child-local l/2) and p+N when l
+// is odd (child p+N, child-local (l-1)/2). Kept ids are therefore dense
+// in each child — a filtered replica can insert them in parent-local
+// order and the child's own insert sequence reproduces exactly these
+// child-local ids.
+func (r Router) SplitFilter(parent, child int) func(parentLocal uint32) (childLocal uint32, ok bool) {
+	if parent < 0 || parent >= r.n {
+		panic(fmt.Sprintf("shard: split parent %d of %d", parent, r.n))
+	}
+	if child != parent && child != parent+r.n {
+		panic(fmt.Sprintf("shard: split child %d cannot receive from parent %d of %d", child, parent, r.n))
+	}
+	r2 := r.Doubled()
+	return func(parentLocal uint32) (uint32, bool) {
+		g := r.Global(parent, parentLocal)
+		if r2.ShardOf(g) != child {
+			return 0, false
+		}
+		return r2.Local(g), true
+	}
+}
+
 // Partition splits base row-wise across n shards with the router's
 // interleave: row i lands on shard i mod n at local index i div n, so the
 // global id of every row equals its original row index. A one-shard
